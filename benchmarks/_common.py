@@ -1,0 +1,35 @@
+"""Shared helpers for the experiment harness.
+
+Every bench prints the measured rows (the "tables" of this theory paper's
+claims — see EXPERIMENTS.md for the claim-by-claim index) and uses
+pytest-benchmark to time one representative unit of work.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["print_table", "ratio", "GEOM_SEEDS"]
+
+GEOM_SEEDS = [101, 202, 303]
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Fixed-width table to stdout (visible with pytest -s; captured into
+    the bench logs either way)."""
+    rows = [tuple(str(c) for c in r) for r in rows]
+    widths = [len(h) for h in headers]
+    for r in rows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+
+
+def ratio(a: float, b: float) -> float:
+    """a/b guarded against zero."""
+    return float(a) / max(float(b), 1e-12)

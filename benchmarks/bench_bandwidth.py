@@ -1,0 +1,75 @@
+"""E2 — BCONGEST compliance: every broadcast fits in O(log n) bits.
+
+Paper claim (§1/Theorem 1): each node broadcasts one O(log n)-bit message
+per round.  Measured: the maximum message size produced anywhere in the
+pipeline vs the bandwidth cap B = 32·⌈log₂ n⌉, across graph families; plus
+the contrast with what a CONGEST-style algorithm may send per round
+(Θ(Δ·log n) bits/node — the paper's point of comparison in §1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import print_table
+from repro.config import ColoringConfig
+from repro.core.algorithm import BroadcastColoring
+from repro.graphs.generators import clique_blob_graph, gnp_graph, hard_mix_graph
+
+FAMILIES = [
+    ("gnp-2k", lambda s: gnp_graph(2048, 0.02, seed=s)),
+    ("blobs", lambda s: clique_blob_graph(16, 64, 40, 15, seed=s)),
+    ("hardmix", lambda s: hard_mix_graph(8, 64, 1500, 0.01, 300, seed=s)),
+]
+
+
+@pytest.mark.benchmark(group="E2-bandwidth")
+def test_e2_max_message_bits(benchmark):
+    rows = []
+    for name, make in FAMILIES:
+        cfg = ColoringConfig.practical(seed=1)
+        res = BroadcastColoring(make(1), cfg).run()
+        cap = cfg.bandwidth_bits(res.n)
+        congest_per_round = res.delta * int(np.ceil(np.log2(res.n)))
+        rows.append(
+            (
+                name,
+                res.n,
+                res.delta,
+                res.max_message_bits,
+                cap,
+                f"{res.max_message_bits / cap:.2f}",
+                congest_per_round,
+            )
+        )
+        assert res.max_message_bits <= cap
+        assert res.proper and res.complete
+    print_table(
+        "E2 max broadcast size vs O(log n) cap (CONGEST column = Δ·log n "
+        "bits a node may send per round in the stronger model)",
+        ["family", "n", "Δ", "max bits", "cap", "utilization", "CONGEST bits/round"],
+        rows,
+    )
+    benchmark.pedantic(
+        lambda: BroadcastColoring(FAMILIES[0][1](2), ColoringConfig.practical()).run(),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="E2-bandwidth")
+def test_e2_cap_scales_logarithmically(benchmark):
+    """The cap itself (and hence every message) is Θ(log n): doubling n
+    adds a constant number of bits."""
+    cfg = ColoringConfig.practical()
+    rows = []
+    prev = None
+    for n in [256, 1024, 4096, 16384, 65536]:
+        cap = cfg.bandwidth_bits(n)
+        rows.append((n, cap, "-" if prev is None else cap - prev))
+        if prev is not None:
+            assert 0 <= cap - prev <= 2 * 32
+        prev = cap
+    print_table("E2 bandwidth cap growth", ["n", "cap bits", "delta"], rows)
+    benchmark.pedantic(lambda: cfg.bandwidth_bits(1 << 20), rounds=5, iterations=10)

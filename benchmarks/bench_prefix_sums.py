@@ -1,0 +1,107 @@
+"""E11 — streaming prefix sums (§5.1, Lemmas 5.2–5.4).
+
+Paper claim: all prefix sums over k spanning groups are computable in
+O(log log n) merge iterations of O(1) BCStream rounds each, with
+poly(log n) memory and no double counting.  Measured: iterations and
+rounds vs k (the log log shape), peak memory vs the z₀ = C log n stage-0
+bound, and exactness against cumsum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import print_table
+from repro.analysis.fitting import growth_fit
+from repro.bcstream.prefix_sums import streaming_prefix_sums
+from repro.config import ColoringConfig
+from repro.simulator.rng import SeedSequencer
+
+
+@pytest.mark.benchmark(group="E11-prefix-sums")
+def test_e11_iterations_loglog_in_k(benchmark):
+    cfg = ColoringConfig.practical()
+    n = 1 << 20
+    rows = []
+    ks = [16, 64, 256, 1024, 4096, 16384]
+    iters = []
+    for k in ks:
+        rng = np.random.default_rng(k)
+        vals = rng.integers(0, 50, size=k)
+        res = streaming_prefix_sums(vals, np.full(k, 24), cfg, n=n)
+        expected = np.concatenate([[0], np.cumsum(vals)[:-1]])
+        assert np.array_equal(res.prefix, expected)
+        iters.append(res.iterations)
+        rows.append((k, res.iterations, res.rounds, res.peak_words, res.chief_failures))
+    print_table(
+        "E11 prefix sums: merge iterations vs group count (n = 2^20)",
+        ["k groups", "iterations", "rounds", "peak words", "chief failures"],
+        rows,
+    )
+    fit = growth_fit(ks, iters)
+    print(f"shape fit: {fit.best}")
+    # 1024x more groups cost at most a couple extra iterations.
+    assert iters[-1] - iters[0] <= 3
+    benchmark.pedantic(
+        lambda: streaming_prefix_sums(
+            np.ones(1024, dtype=np.int64), np.full(1024, 24), cfg, n=n
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="E11-prefix-sums")
+def test_e11_memory_tracks_z0(benchmark):
+    """Peak memory is dominated by the stage-0 range of z₀ = C log n
+    values — it grows with log n, not with k."""
+    cfg = ColoringConfig.practical()
+    rows = []
+    peaks = []
+    for n in [1 << 10, 1 << 14, 1 << 18, 1 << 22]:
+        res = streaming_prefix_sums(
+            np.ones(2048, dtype=np.int64), np.full(2048, 24), cfg, n=n
+        )
+        z0 = int(np.ceil(cfg.log_threshold(n)))
+        peaks.append(res.peak_words)
+        rows.append((n, z0, res.peak_words))
+        assert res.peak_words <= 4 * z0
+    print_table(
+        "E11 peak memory vs n (k = 2048 fixed)",
+        ["n", "z0 = C log n", "peak words"],
+        rows,
+    )
+    benchmark.pedantic(
+        lambda: streaming_prefix_sums(
+            np.ones(2048, dtype=np.int64), np.full(2048, 24), cfg, n=1 << 18
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="E11-prefix-sums")
+def test_e11_chief_sampling_reliability(benchmark):
+    """Lemma 5.4's w.h.p. clause: with group sizes ≥ z^{1/2}·C the random
+    chief assignment covers every term — count failures across seeds."""
+    cfg = ColoringConfig.practical()
+    n = 1 << 16
+    k = 1024
+    failures = []
+    for seed in range(10):
+        vals = np.ones(k, dtype=np.int64)
+        res = streaming_prefix_sums(
+            vals, np.full(k, 48), cfg, n=n, seq=SeedSequencer(seed)
+        )
+        failures.append(res.chief_failures)
+    rows = [(s, f) for s, f in enumerate(failures)]
+    print_table("E11 chief-sampling failures per run", ["seed", "failures"], rows)
+    assert np.mean(failures) <= 2.0
+    benchmark.pedantic(
+        lambda: streaming_prefix_sums(
+            np.ones(k, dtype=np.int64), np.full(k, 48), cfg, n=n
+        ),
+        rounds=3,
+        iterations=1,
+    )

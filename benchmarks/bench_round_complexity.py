@@ -1,0 +1,142 @@
+"""E1 — the headline (Theorem 1): round complexity vs the O(log n) baseline.
+
+Paper claim: the broadcast algorithm runs in O(log³ log n) rounds —
+O(log* n) when Δ ∈ Ω(log³ n) — while the best previous broadcast-based
+algorithm (Johansson's randomized trial coloring) needs Θ(log n).
+
+Measured here: rounds (excluding the reported-separately cleanup) for both
+algorithms on two families — clique blobs (tight palettes: the hard case
+that forces the baseline into its Θ(log n) regime) and G(n, p) — as n
+sweeps over an order of magnitude with Δ held near-constant.  The *shape*
+comparison (growth_fit) is the reproduction target: the baseline should
+fit "log n" best; ours should fit one of the flat/iterated-log shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import print_table, ratio
+from repro.analysis.fitting import growth_fit
+from repro.baselines.johansson import johansson_coloring
+from repro.config import ColoringConfig
+from repro.core.algorithm import BroadcastColoring
+from repro.graphs.generators import clique_blob_graph, gnp_graph
+
+NS_BLOBS = [256, 512, 1024, 2048, 4096, 8192]
+CLIQUE_SIZE = 64
+SEEDS = [1, 2, 3]
+
+
+def blob_graph(n: int, seed: int):
+    return clique_blob_graph(
+        max(1, n // CLIQUE_SIZE),
+        CLIQUE_SIZE,
+        anti_edges_per_clique=40,
+        external_edges_per_clique=12,
+        seed=seed,
+    )
+
+
+def run_ours(graph, seed: int) -> int:
+    cfg = ColoringConfig.practical(seed=seed)
+    res = BroadcastColoring(graph, cfg).run()
+    assert res.proper and res.complete
+    return res.rounds_algorithm
+
+
+def run_baseline(graph, seed: int) -> int:
+    res = johansson_coloring(graph, seed=seed)
+    assert res.proper and res.complete
+    return res.rounds
+
+
+@pytest.mark.benchmark(group="E1-round-complexity")
+def test_e1_blobs_ours_vs_johansson(benchmark):
+    ours_series, base_series = [], []
+    rows = []
+    for n in NS_BLOBS:
+        ours = np.mean([run_ours(blob_graph(n, s), s) for s in SEEDS])
+        base = np.mean([run_baseline(blob_graph(n, s), s) for s in SEEDS])
+        ours_series.append(ours)
+        base_series.append(base)
+        rows.append((n, f"{ours:.1f}", f"{base:.1f}", f"{ratio(base, ours):.2f}x"))
+    print_table(
+        "E1 clique blobs: rounds vs n (Δ ≈ 64 fixed)",
+        ["n", "ours (alg rounds)", "johansson", "baseline/ours"],
+        rows,
+    )
+    fit_ours = growth_fit(NS_BLOBS, ours_series)
+    fit_base = growth_fit(NS_BLOBS, base_series)
+    print(f"shape fit — ours: {fit_ours.best}; baseline: {fit_base.best}")
+
+    # Shape claims: baseline grows with log n; ours is (near-)flat.
+    assert fit_base.rmse["log n"] <= fit_base.rmse["constant"]
+    assert fit_ours.best in ("constant", "log* n", "log log n", "log^3 log n")
+    # Growth-factor comparison across the sweep.
+    base_growth = base_series[-1] - base_series[0]
+    ours_growth = ours_series[-1] - ours_series[0]
+    assert base_growth >= ours_growth - 2
+
+    benchmark.pedantic(
+        lambda: run_ours(blob_graph(1024, 1), 1), rounds=1, iterations=1
+    )
+    benchmark.extra_info["ours_series"] = ours_series
+    benchmark.extra_info["baseline_series"] = base_series
+
+
+@pytest.mark.benchmark(group="E1-round-complexity")
+def test_e1_gnp_sweep(benchmark):
+    rows = []
+    ours_series, base_series, ns = [], [], []
+    for n in [512, 1024, 2048, 4096, 8192]:
+        p = 48.0 / n  # hold expected degree at ~48
+        ours = np.mean([run_ours(gnp_graph(n, p, seed=s), s) for s in SEEDS])
+        base = np.mean([run_baseline(gnp_graph(n, p, seed=s), s) for s in SEEDS])
+        ns.append(n)
+        ours_series.append(ours)
+        base_series.append(base)
+        rows.append((n, f"{ours:.1f}", f"{base:.1f}"))
+    print_table("E1 G(n, 48/n): rounds vs n", ["n", "ours", "johansson"], rows)
+    # gnp is easy for both (big palettes); ours must not *lose* the shape
+    # race: its growth over the sweep stays within the baseline's + slack.
+    assert (ours_series[-1] - ours_series[0]) <= (base_series[-1] - base_series[0]) + 4
+    benchmark.pedantic(lambda: run_ours(gnp_graph(1024, 48 / 1024, seed=1), 1), rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="E1-round-complexity")
+def test_e1_delta_above_polylog_flat(benchmark):
+    """Theorem 1's second clause: for Δ ∈ Ω(log³ n) the round count is
+    O(log* n) — i.e. flat across the n sweep (log* is constant ≤ 5 for any
+    feasible n).  The workload honors the clause by scaling the clique
+    size (≈ Δ) with log n, keeping Δ/(C log n) — the bucket capacity every
+    §4 protocol is paced by — constant.  (At *fixed* Δ and growing n the
+    claim's precondition fails and rounds creep up; that regime is what
+    the first two benches cover.)"""
+    rows = []
+    series = []
+    ns = []
+    for n in NS_BLOBS:
+        size = 8 * int(np.ceil(np.log2(n)))
+        num = max(1, n // size)
+        vals = []
+        for s in SEEDS:
+            g = clique_blob_graph(
+                num, size, anti_edges_per_clique=size // 2,
+                external_edges_per_clique=size // 5, seed=s,
+            )
+            vals.append(run_ours(g, s))
+        ns.append(n)
+        series.append(np.mean(vals))
+        rows.append((n, size, f"{np.mean(vals):.1f}", int(np.max(vals))))
+    print_table(
+        "E1 flatness check (Δ scaled with log n — the Ω(log³ n) regime)",
+        ["n", "clique size", "mean rounds", "max rounds"],
+        rows,
+    )
+    spread = max(series) - min(series)
+    assert spread <= 12, f"rounds should be near-flat across the sweep, spread={spread}"
+    fit = growth_fit(ns, series)
+    print(f"shape fit: {fit.best}")
+    benchmark.pedantic(lambda: run_ours(blob_graph(512, 2), 2), rounds=1, iterations=1)

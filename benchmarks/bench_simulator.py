@@ -1,0 +1,68 @@
+"""E13 — simulator throughput (engineering baseline, not a paper claim).
+
+Wall-clock benchmarks of the substrate primitives so regressions in the
+simulator itself are visible: CSR construction, vectorized collectives,
+a TryColor round, and a full pipeline run per graph family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ColoringConfig
+from repro.core.algorithm import BroadcastColoring
+from repro.core.state import ColoringState
+from repro.core.trycolor import palette_sampler, try_color_round
+from repro.graphs.generators import clique_blob_graph, gnp_graph
+from repro.simulator.network import BroadcastNetwork
+from repro.simulator.rng import SeedSequencer
+
+
+@pytest.mark.benchmark(group="E13-simulator")
+def test_e13_network_construction(benchmark):
+    g = gnp_graph(20_000, 0.002, seed=1)
+    net = benchmark(lambda: BroadcastNetwork(g))
+    assert net.n == 20_000
+
+
+@pytest.mark.benchmark(group="E13-simulator")
+def test_e13_neighbor_sum(benchmark):
+    net = BroadcastNetwork(gnp_graph(20_000, 0.002, seed=2))
+    vals = np.arange(net.n, dtype=np.int64)
+    out = benchmark(lambda: net.neighbor_sum(vals))
+    assert out.shape == (net.n,)
+
+
+@pytest.mark.benchmark(group="E13-simulator")
+def test_e13_try_color_round(benchmark):
+    net = BroadcastNetwork(gnp_graph(10_000, 0.004, seed=3))
+
+    def one_round():
+        state = ColoringState(net)
+        return try_color_round(
+            state, state.uncolored_nodes(), palette_sampler(state), SeedSequencer(1), "b", 0
+        )
+
+    colored = benchmark(one_round)
+    assert colored > 0
+
+
+@pytest.mark.benchmark(group="E13-simulator")
+def test_e13_full_pipeline_gnp(benchmark):
+    cfg = ColoringConfig.practical()
+    g = gnp_graph(5_000, 0.01, seed=4)
+    res = benchmark.pedantic(
+        lambda: BroadcastColoring(g, cfg).run(), rounds=1, iterations=1
+    )
+    assert res.proper and res.complete
+
+
+@pytest.mark.benchmark(group="E13-simulator")
+def test_e13_full_pipeline_blobs(benchmark):
+    cfg = ColoringConfig.practical()
+    g = clique_blob_graph(32, 64, 20, 10, seed=5)
+    res = benchmark.pedantic(
+        lambda: BroadcastColoring(g, cfg).run(), rounds=1, iterations=1
+    )
+    assert res.proper and res.complete

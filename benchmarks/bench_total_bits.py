@@ -1,0 +1,89 @@
+"""E12 — total communication: broadcast rounds · O(log n) bits per node.
+
+The paper's §1 framing: CONGEST-model coloring algorithms may ship
+Θ(n log n) bits per node per round (one distinct message per neighbor);
+the whole point of BCONGEST is one O(log n)-bit message per round.
+Measured: total bits broadcast per node over a full run (ours vs the
+Johansson baseline) against the volume a CONGEST node may emit
+(Δ·log n·rounds) — ours must sit orders of magnitude below the CONGEST
+budget and stay within rounds·cap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import print_table, ratio
+from repro.baselines.johansson import johansson_coloring
+from repro.config import ColoringConfig
+from repro.core.algorithm import BroadcastColoring
+from repro.graphs.generators import clique_blob_graph
+
+
+@pytest.mark.benchmark(group="E12-total-bits")
+def test_e12_bits_per_node(benchmark):
+    cfg = ColoringConfig.practical(seed=1)
+    rows = []
+    for num, size in [(8, 48), (16, 64), (24, 96)]:
+        g = clique_blob_graph(num, size, size // 3, size // 6, seed=1)
+        res = BroadcastColoring(g, cfg).run()
+        base = johansson_coloring(g, seed=1)
+        n = res.n
+        ours_per_node = res.total_bits / n
+        base_per_node = base.total_bits / n
+        congest_budget = res.delta * np.ceil(np.log2(n)) * res.rounds_total
+        rows.append(
+            (
+                f"{num}x{size}",
+                n,
+                res.delta,
+                f"{ours_per_node:.0f}",
+                f"{base_per_node:.0f}",
+                f"{congest_budget:.0f}",
+                f"{ratio(congest_budget, ours_per_node):.0f}x",
+            )
+        )
+        # Ours must respect rounds · cap, and sit far under CONGEST volume.
+        assert ours_per_node <= res.rounds_total * cfg.bandwidth_bits(n)
+        assert ours_per_node < congest_budget / 5
+    print_table(
+        "E12 total broadcast bits per node over a full run",
+        ["blobs", "n", "Δ", "ours", "johansson", "CONGEST budget", "headroom"],
+        rows,
+    )
+    benchmark.pedantic(
+        lambda: BroadcastColoring(
+            clique_blob_graph(8, 48, 16, 8, seed=2), cfg
+        ).run(),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="E12-total-bits")
+def test_e12_bits_scale_with_log_n(benchmark):
+    """Per-node totals grow like rounds·log n — doubling n at fixed Δ adds
+    bits only through the log n factor (rounds stay flat per E1)."""
+    cfg = ColoringConfig.practical(seed=2)
+    rows = []
+    per_node = []
+    ns = []
+    for num in [8, 16, 32, 64]:
+        g = clique_blob_graph(num, 64, 20, 10, seed=2)
+        res = BroadcastColoring(g, cfg).run()
+        ns.append(res.n)
+        per_node.append(res.total_bits / res.n)
+        rows.append((res.n, res.rounds_total, f"{res.total_bits / res.n:.0f}"))
+    print_table(
+        "E12 per-node bits vs n (Δ = 64 fixed)",
+        ["n", "rounds", "bits/node"],
+        rows,
+    )
+    # 8x more nodes: per-node volume grows by at most ~2x (log factor).
+    assert per_node[-1] <= 2.5 * per_node[0]
+    benchmark.pedantic(
+        lambda: BroadcastColoring(clique_blob_graph(8, 64, 20, 10, seed=3), cfg).run(),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Frequency assignment on a wireless network — the paper's motivating
+scenario (§1: "it is particularly important in wireless networking, for
+frequency allocation or channel assignment.  A characteristic of wireless
+communication is that nodes broadcast their messages").
+
+Access points scattered over the unit square interfere within a radius;
+interference = edges of a random geometric graph; a proper coloring is an
+interference-free channel plan.  Broadcast rounds are the natural
+communication currency here — every transmission is heard by all
+neighbors, which is exactly the BCONGEST model.
+
+Run:  python examples/frequency_assignment.py [num_aps] [radius] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import BroadcastColoring, ColoringConfig
+from repro.baselines import greedy_coloring, johansson_coloring
+from repro.graphs import geometric_graph, summarize_graph
+from repro.simulator.network import BroadcastNetwork
+
+
+def channel_plan_report(name: str, colors: np.ndarray, net: BroadcastNetwork) -> None:
+    channels = np.unique(colors[colors >= 0]).size
+    # Spectrum utilization: how balanced is channel usage?
+    counts = np.bincount(colors[colors >= 0])
+    counts = counts[counts > 0]
+    balance = counts.min() / counts.max() if counts.size else 0.0
+    print(f"  {name:<22} channels={channels:<4} balance={balance:.2f}")
+
+
+def main() -> None:
+    num_aps = int(sys.argv[1]) if len(sys.argv) > 1 else 1500
+    radius = float(sys.argv[2]) if len(sys.argv) > 2 else 0.045
+    seed = int(sys.argv[3]) if len(sys.argv) > 3 else 1
+
+    graph = geometric_graph(num_aps, radius, seed=seed)
+    net = BroadcastNetwork(graph)
+    s = summarize_graph(net)
+    print(
+        f"wireless deployment: {s.n} access points, interference degree "
+        f"max Δ={s.delta}, avg {s.avg_degree:.1f}"
+    )
+
+    cfg = ColoringConfig.practical(seed=seed)
+    result = BroadcastColoring(graph, cfg).run()
+    assert result.proper and result.complete
+    print(
+        f"\nbroadcast algorithm: {result.rounds_total} rounds, "
+        f"max message {result.max_message_bits} bits"
+    )
+
+    base = johansson_coloring(graph, seed=seed)
+    greedy = greedy_coloring(net, smallest_last=True)
+
+    print("\nchannel plans (all interference-free):")
+    channel_plan_report("broadcast (paper)", result.colors, net)
+    channel_plan_report("johansson baseline", base.colors, net)
+    channel_plan_report("centralized greedy", greedy, net)
+
+    print(
+        f"\nnote: the distributed plans use at most Δ+1 = {s.delta + 1} channels; "
+        "the centralized greedy (degeneracy order) shows the offline optimum's "
+        "ballpark — the distributed algorithms trade channels for rounds."
+    )
+
+
+if __name__ == "__main__":
+    main()

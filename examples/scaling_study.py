@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The headline experiment as a script: rounds vs n, ours vs the folklore
+O(log n) baseline, with growth-shape fits and the extrapolated crossover.
+
+This is experiment E1 (see EXPERIMENTS.md) in a runnable, tweakable form.
+
+Run:  python examples/scaling_study.py [max_exponent] [seeds]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import BroadcastColoring, ColoringConfig
+from repro.analysis.fitting import growth_fit
+from repro.baselines import johansson_coloring
+from repro.graphs import clique_blob_graph
+
+CLIQUE_SIZE = 64
+
+
+def measure(n: int, seeds: list[int]) -> tuple[float, float]:
+    ours, base = [], []
+    for s in seeds:
+        g = clique_blob_graph(
+            max(1, n // CLIQUE_SIZE),
+            CLIQUE_SIZE,
+            anti_edges_per_clique=40,
+            external_edges_per_clique=12,
+            seed=s,
+        )
+        res = BroadcastColoring(g, ColoringConfig.practical(seed=s)).run()
+        assert res.proper and res.complete
+        ours.append(res.rounds_algorithm)
+        jr = johansson_coloring(g, seed=s)
+        base.append(jr.rounds)
+    return float(np.mean(ours)), float(np.mean(base))
+
+
+def main() -> None:
+    max_exp = int(sys.argv[1]) if len(sys.argv) > 1 else 13
+    num_seeds = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    seeds = list(range(1, num_seeds + 1))
+    ns = [2**k for k in range(8, max_exp + 1)]
+
+    print(f"{'n':>8}  {'ours':>8}  {'johansson':>10}")
+    ours_series, base_series = [], []
+    for n in ns:
+        o, b = measure(n, seeds)
+        ours_series.append(o)
+        base_series.append(b)
+        print(f"{n:>8}  {o:>8.1f}  {b:>10.1f}")
+
+    fit_ours = growth_fit(ns, ours_series)
+    fit_base = growth_fit(ns, base_series)
+    print(f"\nshape fits: ours → {fit_ours.best};  baseline → {fit_base.best}")
+
+    # Extrapolated crossover: solve a·log2(n) + b = flat_ours.
+    a, b = fit_base.coefficients["log n"]
+    flat = float(np.mean(ours_series))
+    if a > 1e-9:
+        log2_n_star = (flat - b) / a
+        print(
+            f"extrapolated crossover (baseline's a·log2 n + b meets our flat "
+            f"{flat:.1f} rounds): log2(n) ≈ {log2_n_star:.0f}, i.e. "
+            f"n ≈ 2^{log2_n_star:.0f}"
+        )
+        print(
+            "— the asymptotic win is real but far out, exactly as expected "
+            "when O(log^3 log n) constants meet a small-constant O(log n): "
+            "the paper's contribution is the *model* (broadcast-only) at the "
+            "*asymptotic* rate, not a small-n speedup."
+        )
+
+
+if __name__ == "__main__":
+    main()

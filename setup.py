@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-build-isolation`` works on environments whose
+setuptools predates native PEP 660 editable wheels (no `wheel` package
+available offline).
+"""
+
+from setuptools import setup
+
+setup()

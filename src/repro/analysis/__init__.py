@@ -1,0 +1,20 @@
+"""Analysis helpers: verification oracles, growth-shape fitting, sweeps."""
+
+from repro.analysis.verify import (
+    verify_coloring,
+    assert_proper_coloring,
+    coloring_summary,
+)
+from repro.analysis.fitting import growth_fit, GrowthFit
+from repro.analysis.stats import run_seeds, SweepResult, success_rate
+
+__all__ = [
+    "verify_coloring",
+    "assert_proper_coloring",
+    "coloring_summary",
+    "growth_fit",
+    "GrowthFit",
+    "run_seeds",
+    "SweepResult",
+    "success_rate",
+]

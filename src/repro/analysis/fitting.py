@@ -1,0 +1,96 @@
+"""Growth-shape fitting: which asymptotic curve explains the measurements?
+
+The paper's headline is a *shape* claim: the new algorithm's round count
+grows like log³ log n (or is flat, O(log* n), for large Δ) while the
+baseline grows like log n.  :func:`growth_fit` fits measured (n, rounds)
+points against the candidate shapes by least squares on a scale+offset
+model ``rounds ≈ a·f(n) + b`` and reports the residuals, so experiments
+can state "log n fits the baseline best / the flat shape fits ours best"
+quantitatively instead of eyeballing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.mathx import iterated_log_bound, log_star
+
+__all__ = ["GrowthFit", "growth_fit", "CANDIDATE_SHAPES"]
+
+
+def _shape_log(n: float) -> float:
+    return math.log2(max(n, 2))
+
+
+def _shape_log3log(n: float) -> float:
+    return iterated_log_bound(int(n), 2) ** 3
+
+
+def _shape_loglog(n: float) -> float:
+    return iterated_log_bound(int(n), 2)
+
+
+def _shape_logstar(n: float) -> float:
+    return float(log_star(n))
+
+
+def _shape_const(n: float) -> float:
+    return 1.0
+
+
+CANDIDATE_SHAPES = {
+    "log n": _shape_log,
+    "log^3 log n": _shape_log3log,
+    "log log n": _shape_loglog,
+    "log* n": _shape_logstar,
+    "constant": _shape_const,
+}
+
+
+@dataclass
+class GrowthFit:
+    best: str
+    rmse: dict[str, float]
+    coefficients: dict[str, tuple[float, float]]  # shape -> (a, b)
+
+    def as_dict(self) -> dict:
+        return {"best": self.best, "rmse": dict(self.rmse)}
+
+
+def growth_fit(ns, values) -> GrowthFit:
+    """Least-squares fit of ``values ≈ a·f(n) + b`` per candidate shape.
+
+    The "constant" shape is fit with a = 0 (mean only).  Returns the best
+    (lowest RMSE) shape; near-ties are visible in the rmse dict.
+    """
+    ns = np.asarray(list(ns), dtype=np.float64)
+    values = np.asarray(list(values), dtype=np.float64)
+    if ns.size != values.size or ns.size < 2:
+        raise ValueError("need at least two (n, value) points")
+    rmse: dict[str, float] = {}
+    coeffs: dict[str, tuple[float, float]] = {}
+    for name, fn in CANDIDATE_SHAPES.items():
+        f = np.array([fn(float(x)) for x in ns])
+        if name == "constant" or np.allclose(f, f[0]):
+            a, b = 0.0, float(values.mean())
+            pred = np.full_like(values, b)
+        else:
+            design = np.stack([f, np.ones_like(f)], axis=1)
+            sol, *_ = np.linalg.lstsq(design, values, rcond=None)
+            a, b = float(sol[0]), float(sol[1])
+            pred = design @ sol
+        rmse[name] = float(np.sqrt(((values - pred) ** 2).mean()))
+        coeffs[name] = (a, b)
+    # Negative-slope fits mean the shape is *decreasing* relative to the
+    # data; exclude them from "best" unless everything is negative.  Ties
+    # (within 1e-9) break toward the *simpler* shape — on bounded ranges
+    # log* n is literally constant, and claiming the fancier shape when a
+    # plain constant explains the data equally well would be overfitting.
+    simplicity = {"constant": 0, "log* n": 1, "log log n": 2, "log^3 log n": 3, "log n": 4}
+    admissible = {k: v for k, v in rmse.items() if coeffs[k][0] >= 0 or k == "constant"}
+    pool = admissible if admissible else rmse
+    best = min(pool, key=lambda k: (round(pool[k], 9), simplicity[k]))
+    return GrowthFit(best=best, rmse=rmse, coefficients=coeffs)

@@ -1,0 +1,98 @@
+"""One-call experiment reporter: reruns the key measurements and renders a
+markdown summary — the programmatic backbone of EXPERIMENTS.md.
+
+``build_report()`` is deliberately lighter than the full bench suite (it
+targets seconds, not minutes) so it can run in CI or a notebook; each
+section names the claim it measures and the bench that does it at full
+scale.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.fitting import growth_fit
+from repro.baselines.johansson import johansson_coloring
+from repro.bcstream.pipeline import bcstream_coloring
+from repro.config import ColoringConfig
+from repro.core.algorithm import BroadcastColoring
+from repro.graphs.generators import clique_blob_graph
+
+__all__ = ["ExperimentReport", "build_report"]
+
+
+@dataclass
+class ExperimentReport:
+    sections: dict[str, dict] = field(default_factory=dict)
+
+    def to_markdown(self) -> str:
+        out = io.StringIO()
+        out.write("# Experiment summary (quick run)\n")
+        for name, data in self.sections.items():
+            out.write(f"\n## {name}\n")
+            for key, value in data.items():
+                out.write(f"- **{key}**: {value}\n")
+        return out.getvalue()
+
+
+def _blob(n: int, seed: int):
+    size = 48
+    return clique_blob_graph(
+        max(1, n // size), size, anti_edges_per_clique=20,
+        external_edges_per_clique=10, seed=seed,
+    )
+
+
+def build_report(
+    ns: list[int] | None = None,
+    seeds: list[int] | None = None,
+    config: ColoringConfig | None = None,
+) -> ExperimentReport:
+    """Run the quick version of E1/E2/E10 and return the rendered report."""
+    ns = ns or [256, 1024, 4096]
+    seeds = seeds or [1, 2]
+    cfg = config or ColoringConfig.practical()
+    report = ExperimentReport()
+
+    # E1-lite: shape comparison.
+    ours_series, base_series = [], []
+    for n in ns:
+        ours, base = [], []
+        for s in seeds:
+            g = _blob(n, s)
+            res = BroadcastColoring(g, cfg.with_seed(s)).run()
+            assert res.proper and res.complete
+            ours.append(res.rounds_algorithm)
+            base.append(johansson_coloring(g, seed=s).rounds)
+        ours_series.append(float(np.mean(ours)))
+        base_series.append(float(np.mean(base)))
+    section: dict = {
+        "rows (n, ours, johansson)": list(zip(ns, ours_series, base_series)),
+    }
+    if len(ns) >= 2:
+        section["fit ours"] = growth_fit(ns, ours_series).best
+        section["fit johansson"] = growth_fit(ns, base_series).best
+    report.sections["E1 round complexity (bench_round_complexity.py)"] = section
+
+    # E2-lite: bandwidth compliance.
+    g = _blob(ns[-1], seeds[0])
+    res = BroadcastColoring(g, cfg.with_seed(seeds[0])).run()
+    report.sections["E2 bandwidth (bench_bandwidth.py)"] = {
+        "max message bits": res.max_message_bits,
+        "cap": cfg.bandwidth_bits(res.n),
+        "compliant": res.max_message_bits <= cfg.bandwidth_bits(res.n),
+    }
+
+    # E10-lite: BCStream memory.
+    stream = bcstream_coloring(_blob(ns[0], seeds[0]), cfg)
+    report.sections["E10 BCStream (bench_bcstream.py)"] = {
+        "peak words": stream.peak_words,
+        "ceiling words": stream.memory_ceiling_words,
+        "within memory": stream.within_memory,
+        "round parity": stream.coloring.rounds_total,
+    }
+
+    return report

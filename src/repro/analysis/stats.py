@@ -1,0 +1,75 @@
+"""Seed sweeps and aggregate statistics for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+__all__ = ["SweepResult", "run_seeds", "success_rate", "summarize"]
+
+
+@dataclass
+class SweepResult:
+    """Per-seed scalar measurements plus convenience statistics."""
+
+    values: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else float("nan")
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values)) if self.values else float("nan")
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self.values)) if self.values else float("nan")
+
+    @property
+    def min(self) -> float:
+        return float(np.min(self.values)) if self.values else float("nan")
+
+    def quantile(self, q: float) -> float:
+        return float(np.quantile(self.values, q)) if self.values else float("nan")
+
+    def as_dict(self) -> dict:
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min,
+            "max": self.max,
+            "count": len(self.values),
+        }
+
+
+def run_seeds(fn: Callable[[int], float], seeds: Iterable[int]) -> SweepResult:
+    """Evaluate ``fn(seed)`` across seeds and collect the scalars."""
+    out = SweepResult()
+    for s in seeds:
+        out.add(fn(int(s)))
+    return out
+
+
+def success_rate(fn: Callable[[int], bool], seeds: Iterable[int]) -> float:
+    """Fraction of seeds for which the predicate holds."""
+    seeds = list(seeds)
+    if not seeds:
+        return float("nan")
+    hits = sum(1 for s in seeds if fn(int(s)))
+    return hits / len(seeds)
+
+
+def summarize(rows: list[dict], keys: list[str]) -> dict[str, dict]:
+    """Column-wise summary of a list of result dicts."""
+    out: dict[str, dict] = {}
+    for key in keys:
+        vals = [float(r[key]) for r in rows if key in r]
+        sweep = SweepResult(values=vals)
+        out[key] = sweep.as_dict()
+    return out

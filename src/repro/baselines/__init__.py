@@ -1,0 +1,21 @@
+"""Baseline coloring algorithms the paper positions itself against.
+
+* :mod:`repro.baselines.greedy` — the sequential greedy reference (not a
+  distributed algorithm; correctness/color-count oracle).
+* :mod:`repro.baselines.johansson` — the folklore O(log n)-round
+  randomized BCONGEST algorithm [Joh99, Lub86, BEPS16] which the abstract
+  cites as the previous best broadcast-based bound.
+* :mod:`repro.baselines.luby` — Luby-style random-priority coloring,
+  another classic O(log n) broadcast algorithm.
+"""
+
+from repro.baselines.greedy import greedy_coloring
+from repro.baselines.johansson import johansson_coloring, BaselineResult
+from repro.baselines.luby import luby_coloring
+
+__all__ = [
+    "greedy_coloring",
+    "johansson_coloring",
+    "luby_coloring",
+    "BaselineResult",
+]

@@ -1,0 +1,31 @@
+"""BCStream (§5): BCONGEST with streaming message consumption and
+poly(log n) node memory.
+
+* :mod:`repro.bcstream.memory` — the word-level memory meter and the
+  poly(log n) ceiling of Definition 5.1.
+* :mod:`repro.bcstream.stream` — one-pass consumption of a round's inbox
+  through a bounded-state reducer.
+* :mod:`repro.bcstream.prefix_sums` — the §5.1 group-merge prefix sums
+  (Lemmas 5.2–5.4): O(log log n) merge iterations, O(1) rounds each.
+* :mod:`repro.bcstream.palette_stream` — finding the i-th color of the
+  clique palette by descending the merge hierarchy with O(1) extra words.
+* :mod:`repro.bcstream.pipeline` — the full coloring pipeline with a
+  per-phase memory audit (Theorem 2).
+"""
+
+from repro.bcstream.memory import MemoryMeter, MemoryExceeded
+from repro.bcstream.stream import stream_reduce
+from repro.bcstream.prefix_sums import streaming_prefix_sums, PrefixSumResult
+from repro.bcstream.palette_stream import streaming_palette_lookup
+from repro.bcstream.pipeline import bcstream_coloring, BCStreamResult
+
+__all__ = [
+    "MemoryMeter",
+    "MemoryExceeded",
+    "stream_reduce",
+    "streaming_prefix_sums",
+    "PrefixSumResult",
+    "streaming_palette_lookup",
+    "bcstream_coloring",
+    "BCStreamResult",
+]

@@ -1,0 +1,69 @@
+"""Word-level memory accounting for the BCStream model (Definition 5.1).
+
+BCStream nodes read each round's incoming messages as a stream with only
+``O(log^c n)`` bits of working memory — they can never buffer the
+Θ(Δ log n) bits a round may deliver.  :class:`MemoryMeter` tracks working
+memory in *words* (one word = one O(log n)-bit quantity: a color, an id, a
+counter, a seed) per node, maintains peaks, and can enforce a ceiling:
+exceeding it raises :class:`MemoryExceeded`, making accidental
+Δ-sized buffering fail loudly exactly like the bandwidth cap does for
+oversized messages.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = ["MemoryMeter", "MemoryExceeded"]
+
+
+class MemoryExceeded(RuntimeError):
+    """A node's working memory went above the model ceiling."""
+
+
+class MemoryMeter:
+    """Tracks per-node working-memory words with peaks and a ceiling."""
+
+    def __init__(self, ceiling_words: int | None = None):
+        self.ceiling_words = ceiling_words
+        self.current: dict[int, int] = defaultdict(int)
+        self.peak: dict[int, int] = defaultdict(int)
+
+    def alloc(self, node: int, words: int) -> None:
+        """Node takes ``words`` more words of working memory."""
+        if words < 0:
+            raise ValueError("use free() to release memory")
+        cur = self.current[node] + int(words)
+        self.current[node] = cur
+        if cur > self.peak[node]:
+            self.peak[node] = cur
+        if self.ceiling_words is not None and cur > self.ceiling_words:
+            raise MemoryExceeded(
+                f"node {node} uses {cur} words > ceiling {self.ceiling_words}"
+            )
+
+    def free(self, node: int, words: int | None = None) -> None:
+        """Release ``words`` (default: everything) from the node."""
+        if words is None:
+            self.current[node] = 0
+        else:
+            self.current[node] = max(0, self.current[node] - int(words))
+
+    def touch(self, node: int, words: int) -> None:
+        """Transient usage: alloc then free — records the peak only."""
+        self.alloc(node, words)
+        self.free(node, words)
+
+    def peak_words(self) -> int:
+        """Max peak across nodes (0 if never used)."""
+        return max(self.peak.values(), default=0)
+
+    def peak_of(self, node: int) -> int:
+        return self.peak.get(node, 0)
+
+    def as_dict(self) -> dict:
+        return {
+            "peak_words": self.peak_words(),
+            "ceiling_words": self.ceiling_words,
+            "nodes_tracked": len(self.peak),
+        }

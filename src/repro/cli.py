@@ -1,0 +1,217 @@
+"""Command-line interface: run the algorithm and its experiments without
+writing Python.
+
+    python -m repro color --family gnp --n 2000 --avg-degree 40
+    python -m repro compare --family blobs --n 4096 --seeds 3
+    python -m repro decompose --cliques 8 --size 56
+    python -m repro sweep --family blobs --min-exp 8 --max-exp 12
+
+Every subcommand prints a compact report; ``--json`` switches to
+machine-readable output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+import numpy as np
+
+from repro.baselines.johansson import johansson_coloring
+from repro.baselines.luby import luby_coloring
+from repro.config import ColoringConfig
+from repro.core.algorithm import BroadcastColoring
+from repro.decomposition.acd import decompose_distributed
+from repro.decomposition.validation import validate_decomposition
+from repro.analysis.fitting import growth_fit
+from repro.graphs.generators import (
+    clique_blob_graph,
+    geometric_graph,
+    gnp_graph,
+    hard_mix_graph,
+    planted_acd_graph,
+)
+from repro.simulator.network import BroadcastNetwork
+
+__all__ = ["main", "build_parser", "make_graph"]
+
+
+def make_graph(family: str, n: int, avg_degree: float, seed: int):
+    """Instantiate a workload by family name (shared by all subcommands)."""
+    if family == "gnp":
+        return gnp_graph(n, min(1.0, avg_degree / max(n, 2)), seed=seed)
+    if family == "blobs":
+        size = max(8, int(avg_degree))
+        return clique_blob_graph(
+            max(1, n // size),
+            size,
+            anti_edges_per_clique=max(1, size // 3),
+            external_edges_per_clique=max(1, size // 6),
+            seed=seed,
+        )
+    if family == "geometric":
+        radius = float(np.sqrt(avg_degree / (np.pi * max(n, 2))))
+        return geometric_graph(n, radius, seed=seed)
+    if family == "hardmix":
+        size = max(8, int(avg_degree))
+        blobs = max(1, n // (4 * size))
+        return hard_mix_graph(
+            blobs, size, n - blobs * size, avg_degree / max(n, 2), n // 20, seed=seed
+        )
+    if family == "planted":
+        size = max(8, int(avg_degree))
+        return planted_acd_graph(
+            max(1, n // size), size, 0.1, sparse_nodes=n // 5, seed=seed
+        )
+    raise SystemExit(f"unknown family: {family!r}")
+
+
+def _emit(report: dict[str, Any], as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(report, indent=2, default=str))
+        return
+    for key, value in report.items():
+        if isinstance(value, dict):
+            print(f"{key}:")
+            for k2, v2 in value.items():
+                print(f"  {k2}: {v2}")
+        else:
+            print(f"{key}: {value}")
+
+
+def cmd_color(args: argparse.Namespace) -> int:
+    graph = make_graph(args.family, args.n, args.avg_degree, args.seed)
+    cfg = ColoringConfig.practical(seed=args.seed)
+    if args.paper_constants:
+        cfg = ColoringConfig.paper(seed=args.seed)
+    result = BroadcastColoring(graph, cfg).run()
+    report = result.as_dict()
+    report["clique_summary"] = result.clique_summary
+    _emit(report, args.json)
+    return 0 if (result.proper and result.complete) else 1
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for seed in range(args.seeds):
+        graph = make_graph(args.family, args.n, args.avg_degree, seed)
+        ours = BroadcastColoring(graph, ColoringConfig.practical(seed=seed)).run()
+        joh = johansson_coloring(graph, seed=seed)
+        lub = luby_coloring(graph, seed=seed)
+        rows.append(
+            {
+                "seed": seed,
+                "ours_rounds": ours.rounds_algorithm,
+                "johansson_rounds": joh.rounds,
+                "luby_rounds": lub.rounds,
+                "ours_bits_per_node": round(ours.total_bits / ours.n),
+            }
+        )
+    report = {
+        "family": args.family,
+        "n": args.n,
+        "runs": rows,
+        "mean_ours": float(np.mean([r["ours_rounds"] for r in rows])),
+        "mean_johansson": float(np.mean([r["johansson_rounds"] for r in rows])),
+        "mean_luby": float(np.mean([r["luby_rounds"] for r in rows])),
+    }
+    _emit(report, args.json)
+    return 0
+
+
+def cmd_decompose(args: argparse.Namespace) -> int:
+    cfg = ColoringConfig.practical(seed=args.seed)
+    g = planted_acd_graph(
+        args.cliques, args.size, cfg.eps, sparse_nodes=args.sparse, seed=args.seed
+    )
+    net = BroadcastNetwork(g, bandwidth_bits=cfg.bandwidth_bits(g[0]))
+    acd = decompose_distributed(net, cfg)
+    rep = validate_decomposition(net, acd)
+    report = {
+        "n": net.n,
+        "delta": net.delta,
+        "cliques_found": acd.num_cliques,
+        "cliques_planted": args.cliques,
+        "sparse_nodes": int(acd.sparse_nodes.size),
+        "rounds": acd.rounds_used,
+        "validator": rep.as_dict(),
+    }
+    _emit(report, args.json)
+    return 0 if rep.ok else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    ns = [2**k for k in range(args.min_exp, args.max_exp + 1)]
+    ours_series, base_series = [], []
+    rows = []
+    for n in ns:
+        ours, base = [], []
+        for seed in range(args.seeds):
+            graph = make_graph(args.family, n, args.avg_degree, seed)
+            res = BroadcastColoring(graph, ColoringConfig.practical(seed=seed)).run()
+            ours.append(res.rounds_algorithm)
+            base.append(johansson_coloring(graph, seed=seed).rounds)
+        ours_series.append(float(np.mean(ours)))
+        base_series.append(float(np.mean(base)))
+        rows.append({"n": n, "ours": ours_series[-1], "johansson": base_series[-1]})
+    report: dict[str, Any] = {"family": args.family, "rows": rows}
+    if len(ns) >= 2:
+        report["fit_ours"] = growth_fit(ns, ours_series).best
+        report["fit_johansson"] = growth_fit(ns, base_series).best
+    _emit(report, args.json)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Coloring Fast with Broadcasts (SPAA 2023) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--family", default="gnp",
+                       choices=["gnp", "blobs", "geometric", "hardmix", "planted"])
+        p.add_argument("--n", type=int, default=2000)
+        p.add_argument("--avg-degree", type=float, default=40.0)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--json", action="store_true")
+
+    p_color = sub.add_parser("color", help="run the full pipeline on one graph")
+    common(p_color)
+    p_color.add_argument("--paper-constants", action="store_true",
+                         help="use the published constants instead of the practical preset")
+    p_color.set_defaults(fn=cmd_color)
+
+    p_cmp = sub.add_parser("compare", help="ours vs Johansson vs Luby across seeds")
+    common(p_cmp)
+    p_cmp.add_argument("--seeds", type=int, default=3)
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_dec = sub.add_parser("decompose", help="run + validate the ε-ACD on a planted graph")
+    p_dec.add_argument("--cliques", type=int, default=6)
+    p_dec.add_argument("--size", type=int, default=56)
+    p_dec.add_argument("--sparse", type=int, default=100)
+    p_dec.add_argument("--seed", type=int, default=0)
+    p_dec.add_argument("--json", action="store_true")
+    p_dec.set_defaults(fn=cmd_decompose)
+
+    p_sweep = sub.add_parser("sweep", help="rounds vs n with growth-shape fits")
+    common(p_sweep)
+    p_sweep.add_argument("--min-exp", type=int, default=8)
+    p_sweep.add_argument("--max-exp", type=int, default=12)
+    p_sweep.add_argument("--seeds", type=int, default=2)
+    p_sweep.set_defaults(fn=cmd_sweep)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

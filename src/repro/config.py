@@ -1,0 +1,244 @@
+"""Algorithm configuration: every constant of the paper in one place.
+
+The paper (Eq. (3)) fixes ``ε = 10⁻⁵``, ``β = 401``, ``ℓ = C·log^{1.1} n``
+and a "large enough" constant ``C``.  Those values make the union bounds go
+through for asymptotic n but mean the dense-clique machinery only activates
+at astronomically large inputs.  As DESIGN.md §2 documents, the reproduction
+therefore ships two presets:
+
+* :meth:`ColoringConfig.paper` — the published constants, used when checking
+  formulas and for documentation parity;
+* :meth:`ColoringConfig.practical` — structurally identical but scaled so
+  that every phase (almost-cliques, colorful matching, put-aside sets,
+  synchronized color trial, MultiTrial) actually executes at simulable
+  sizes (n up to ~10⁵).  All experiments state which preset they use.
+
+Nothing else in the code base hard-codes a threshold; change the config and
+the whole pipeline follows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.util.mathx import poly_log
+
+__all__ = ["ColoringConfig"]
+
+
+@dataclass(frozen=True)
+class ColoringConfig:
+    """All tunables of the reproduction.
+
+    Attributes mirror the paper's notation where one exists; the docstring
+    of each field points at the defining equation.
+    """
+
+    # --- almost-clique decomposition (Definition 2.2, Lemma 2.5) ---
+    eps: float = 0.1
+    """ε of the ε-almost-clique decomposition.  Paper: 10⁻⁵."""
+
+    acd_minhash_samples: int = 256
+    """Number of b-bit minhash samples per edge-similarity estimate."""
+
+    acd_minhash_bits: int = 2
+    """b of b-bit minwise hashing (fingerprint width)."""
+
+    acd_friend_slack: float = 1.5
+    """Friend threshold: uv is a friend edge when the estimated Jaccard
+    similarity of closed neighborhoods is at least ``1 - friend_slack*eps``."""
+
+    acd_repair_iterations: int = 4
+    """Max peeling passes enforcing Def. 2.2(2b) on candidate cliques."""
+
+    # --- slack generation (Lemma 2.12) ---
+    slack_probability: float = 1.0 / 200.0
+    """p_s: probability a node participates in slack generation.  Paper: 1/200."""
+
+    # --- colorful matching (Lemma 2.9, Eq. (3)) ---
+    beta: float = 2.0
+    """β: target matching size is β·a_K.  Paper: 401 (with ε=10⁻⁵)."""
+
+    matching_round_factor: float = 6.0
+    """The matching loop runs at most ``ceil(matching_round_factor * beta)``
+    rounds — the O(β) bound of Lemma 2.9."""
+
+    # --- thresholds of the form C·log n and ℓ = C·log^{1.1} n (Eq. (3)) ---
+    c_log: float = 1.0
+    """The ubiquitous ``C`` multiplying ``log n`` thresholds (a_K ≥ C log n
+    for the colorful matching, group sizes in §4, ...).  Paper: "large
+    enough"."""
+
+    ell_factor: float = 1.0
+    """C of ``ℓ = C·log^{1.1} n``."""
+
+    ell_exponent: float = 1.1
+    """The 1.1 of ``ℓ = C·log^{1.1} n``."""
+
+    # --- reserved color prefix x(K) (Eq. (5)) ---
+    x_full_factor: float = 4.0
+    """x(K) = x_full_factor·ℓ for full cliques.  Paper: 200·ℓ."""
+
+    x_closed_factor: float = 4.0
+    """x(K) = x_closed_factor·a_K for closed cliques.  Paper: 400·a_K."""
+
+    x_open_factor: float = 0.5
+    """x(K) = x_open_factor·e_K for open cliques.  Paper: γε/8·e_K."""
+
+    # --- outliers (Definition 3.1) ---
+    outlier_factor: float = 30.0
+    """v is an outlier when e_v ≥ outlier_factor·ē_K or a_v ≥ outlier_factor·ā_K.
+    Paper: 30."""
+
+    # --- put-aside sets (Lemma 3.4, §3.3, Appendix B) ---
+    putaside_factor: float = 1.0
+    """|P_K| = ceil(putaside_factor·ℓ).  Paper: 201·ℓ."""
+
+    compress_try_colors: int = 8
+    """k: colors each put-aside node pre-samples in CompressTry (Alg. 6).
+    Paper: ceil(C log n / log² log n)."""
+
+    compress_try_repeats: int = 4
+    """Independent CompressTry instances run in parallel (§3.3 runs
+    Θ(log log n) of them)."""
+
+    # --- synchronized color trial (§4) ---
+    group_size_target: float = 2.0
+    """Rough buckets aim for ``group_size_target·C·log n`` nodes per bucket
+    (the ∆/(C log n) bucketing of Lemma 4.1, inverted)."""
+
+    permute_constant_round: bool = False
+    """Use Algorithm 5 (O(1) rounds) instead of Algorithm 4 (O(log log n)).
+    The paper notes Algorithm 4 "suffices for Theorems 1 and 2"; Algorithm
+    5's advantage is asymptotic (its leftover-set dissemination needs
+    Δ ≫ log³ n to be cheap), so the practical preset defaults to 4 and the
+    paper preset to 5.  Bench E7 measures the crossover."""
+
+    permute_ac_eps: float = 1.0 / 3.0
+    """ε'' of Algorithm 5's AC-preservation test (Definition 4.6).  Paper:
+    1/12 — meaningful when buckets hold Θ(log n) ≫ 1 nodes; the practical
+    preset relaxes it so small fine-buckets don't all fall into R."""
+
+    sct_extra_trycolor_rounds: int = 3
+    """Extra TryColor rounds in open cliques after SCT (proof of Lemma 3.7:
+    "O(1) additional rounds")."""
+
+    # --- MultiTrial (Lemma 2.14) ---
+    multitrial_initial: int = 2
+    """Colors tried in the first MultiTrial iteration."""
+
+    multitrial_growth: float = 2.0
+    """Geometric growth of tries per iteration (the log* engine)."""
+
+    multitrial_cap: int = 64
+    """Upper bound on colors tried per iteration (seed expansion length)."""
+
+    multitrial_max_iters: int = 24
+    """Safety bound on MultiTrial iterations before falling back."""
+
+    multitrial_sampler: str = "prg"
+    """Seed-expansion device for representative sets: "prg" (counter-mode
+    PCG64, the default substitution documented in DESIGN.md §2) or
+    "expander" (the [HN23] construction itself: deterministic walks on a
+    Margulis–Gabber–Galil expander over the color space)."""
+
+    # --- ablation switches (DESIGN.md design-choice experiments) ---
+    enable_matching: bool = True
+    """Off = skip the colorful matching (Lemma 2.9).  Ablation EA1: closed
+    cliques then run out of clique palette and lean on the cleanup."""
+
+    enable_putaside: bool = True
+    """Off = skip put-aside sets (Lemma 3.4).  Ablation EA2: full cliques
+    lose the ℓ of temporary slack that MultiTrial's Property 3 needs."""
+
+    record_trace: bool = False
+    """On = the run records a per-round trace (phase, uncolored count)."""
+
+    # --- model / simulator ---
+    bandwidth_factor: float = 32.0
+    """Messages may carry at most ``bandwidth_factor·ceil(log2 n)`` bits —
+    the O(log n) of BCONGEST with an explicit constant."""
+
+    max_cleanup_rounds: int = 10_000
+    """Hard cap for the fallback cleanup phase (always terminates first)."""
+
+    seed: int = 0
+    """Root seed; a run is a pure function of (graph, config, seed)."""
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def ell(self, n: int) -> int:
+        """ℓ = C·log^{1.1} n (Eq. (3)), at least 1."""
+        return max(1, int(math.ceil(poly_log(n, self.ell_exponent, self.ell_factor))))
+
+    def log_threshold(self, n: int) -> float:
+        """The ``C log n`` threshold used all over §3–§4."""
+        return self.c_log * max(math.log2(max(n, 2)), 1.0)
+
+    def putaside_size(self, n: int) -> int:
+        """|P_K| for full cliques (Lemma 3.4; paper: 201ℓ)."""
+        return max(1, int(math.ceil(self.putaside_factor * self.ell(n))))
+
+    def bandwidth_bits(self, n: int) -> int:
+        """Per-round broadcast budget in bits."""
+        return max(8, int(math.ceil(self.bandwidth_factor * max(math.log2(max(n, 2)), 1.0))))
+
+    def x_of_clique(self, kind: str, n: int, a_k: float, e_k: float) -> int:
+        """x(K) of Eq. (5): the reserved color prefix for clique class
+        ``kind`` in {"full", "open", "closed"}."""
+        if kind == "full":
+            return int(math.ceil(self.x_full_factor * self.ell(n)))
+        if kind == "closed":
+            return int(math.ceil(self.x_closed_factor * max(a_k, 1.0)))
+        if kind == "open":
+            return max(1, int(math.ceil(self.x_open_factor * max(e_k, 1.0))))
+        raise ValueError(f"unknown clique kind: {kind!r}")
+
+    def classify_clique(self, n: int, a_k: float, e_k: float) -> str:
+        """Definition 3.3: full if a_K+e_K < ℓ; open if 2a_K < e_K; else closed."""
+        if a_k + e_k < self.ell(n):
+            return "full"
+        if 2.0 * a_k < e_k:
+            return "open"
+        return "closed"
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper(cls, **overrides: Any) -> "ColoringConfig":
+        """The published constants (Eq. (3)–(5)).  Mostly documentation: at
+        simulable n these thresholds keep the dense machinery dormant."""
+        cfg = cls(
+            eps=1e-5,
+            slack_probability=1.0 / 200.0,
+            beta=401.0,
+            ell_factor=1.0,
+            ell_exponent=1.1,
+            x_full_factor=200.0,
+            x_closed_factor=400.0,
+            x_open_factor=1e-5 / 8.0,  # γε/8 with γ≈1
+            outlier_factor=30.0,
+            putaside_factor=201.0,
+            permute_ac_eps=1.0 / 12.0,
+            permute_constant_round=True,
+        )
+        return replace(cfg, **overrides) if overrides else cfg
+
+    @classmethod
+    def practical(cls, **overrides: Any) -> "ColoringConfig":
+        """Scaled constants under which every phase runs at n ≤ ~10⁵.
+
+        The structure (which colors are reserved, who is an outlier, when a
+        clique is full/open/closed, how many rounds each loop takes) is
+        identical to the paper; only multiplicative constants shrink.
+        """
+        cfg = cls()  # the dataclass defaults *are* the practical preset
+        return replace(cfg, **overrides) if overrides else cfg
+
+    def with_seed(self, seed: int) -> "ColoringConfig":
+        """Copy of this config with a different root seed."""
+        return replace(self, seed=seed)

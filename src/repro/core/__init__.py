@@ -1,0 +1,23 @@
+"""The paper's contribution: (Δ+1)-coloring with O(log n)-bit broadcasts.
+
+Sub-modules follow the paper's structure:
+
+* :mod:`repro.core.state` — partial colorings, palettes, slack (§2.2).
+* :mod:`repro.core.cliques` — a_K/e_K aggregation, outliers, the
+  full/open/closed classes and the reserved prefix x(K) (§3.1, Eq. (5)).
+* :mod:`repro.core.slack` — slack generation (Lemma 2.12).
+* :mod:`repro.core.trycolor` — the random color trial (Lemma 2.13).
+* :mod:`repro.core.multitrial` — MultiTrial via representative sets
+  (Lemma 2.14).
+* :mod:`repro.core.matching` — the colorful matching (Lemma 2.9, App. A).
+* :mod:`repro.core.learn_palette` / :mod:`repro.core.relabel` /
+  :mod:`repro.core.permute` / :mod:`repro.core.sct` — the synchronized
+  color trial machinery (§3.2, §4).
+* :mod:`repro.core.putaside` — put-aside sets (§3.3, Appendix B).
+* :mod:`repro.core.algorithm` — Algorithm 1 / Theorem 1 orchestration.
+"""
+
+from repro.core.state import ColoringState
+from repro.core.algorithm import BroadcastColoring, ColoringResult
+
+__all__ = ["ColoringState", "BroadcastColoring", "ColoringResult"]

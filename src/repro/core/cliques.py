@@ -1,0 +1,169 @@
+"""Clique bookkeeping: external/anti-degrees, outliers, classes, x(K).
+
+After the almost-clique decomposition, each clique aggregates (over its
+depth-2 BFS tree, O(1) rounds — §3.4) the quantities that steer the rest
+of the pipeline:
+
+* per-node external degree ``e_v = |N(v)\\K|`` and anti-degree
+  ``a_v = |K\\N(v)|`` (Definition 2.3);
+* their clique averages ``e_K``, ``a_K``;
+* the outlier set ``O_K = {v : e_v ≥ 30·e_K or a_v ≥ 30·a_K}``
+  (Definition 3.1);
+* the class full/open/closed (Definition 3.3) and the reserved color
+  prefix ``x(K)`` (Eq. (5)).
+
+All of it is vectorized; the corresponding O(1) aggregation rounds are
+charged to the metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import ColoringConfig
+from repro.decomposition.acd import AlmostCliqueDecomposition
+from repro.simulator.network import BroadcastNetwork
+from repro.util.bitio import bits_for_count
+
+__all__ = ["CliqueInfo", "compute_clique_info"]
+
+
+@dataclass
+class CliqueInfo:
+    """Everything downstream phases need to know about the cliques."""
+
+    acd: AlmostCliqueDecomposition
+    ev: np.ndarray  # per node; 0 for sparse nodes
+    av: np.ndarray  # per node; 0 for sparse nodes
+    e_k: np.ndarray  # per clique average external degree
+    a_k: np.ndarray  # per clique average anti-degree
+    kind: list[str]  # per clique: "full" | "open" | "closed"
+    x_k: np.ndarray  # per clique reserved prefix (Eq. (5)), possibly clamped
+    x_node: np.ndarray  # x(v) per node (0 for sparse)
+    outlier_mask: np.ndarray  # per node
+    x_clamped: int = 0  # cliques whose Eq.-(5) x(K) was clamped for feasibility
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.acd.labels
+
+    @property
+    def num_cliques(self) -> int:
+        return self.acd.num_cliques
+
+    def members(self, c: int) -> np.ndarray:
+        return self.acd.members(c)
+
+    def cliques_of_kind(self, kind: str) -> list[int]:
+        return [c for c, k in enumerate(self.kind) if k == kind]
+
+    def summary(self) -> dict:
+        kinds = {k: self.kind.count(k) for k in ("full", "open", "closed")}
+        return {
+            "num_cliques": self.num_cliques,
+            "kinds": kinds,
+            "outliers": int(self.outlier_mask.sum()),
+            "x_clamped": self.x_clamped,
+        }
+
+
+def compute_clique_info(
+    net: BroadcastNetwork,
+    acd: AlmostCliqueDecomposition,
+    cfg: ColoringConfig,
+    num_colors: int | None = None,
+    phase: str = "setup/aggregate",
+) -> CliqueInfo:
+    """Aggregate Definition 2.3/3.1/3.3 and Eq. (5) for every clique.
+
+    ``num_colors`` (default Δ+1) bounds x(K): Eq. (5)'s value is clamped to
+    ``num_colors // 4`` so that Lemma 3.6's feasibility
+    (|Ψ(K)| − x(K) ≥ |K̂\\P_K|) survives the scaled practical constants;
+    clamps are counted in the returned info.
+    """
+    n = net.n
+    labels = acd.labels
+    k = acd.num_cliques
+    num_colors = num_colors if num_colors is not None else net.delta + 1
+
+    ev = np.zeros(n, dtype=np.int64)
+    av = np.zeros(n, dtype=np.int64)
+    member = labels >= 0
+    if k and member.any():
+        # |N(v) ∩ K(v)| via one pass over directed edges.
+        same = np.zeros(n, dtype=np.int64)
+        src, dst = net.edge_src, net.indices
+        agree = member[src] & (labels[src] == labels[dst])
+        np.add.at(same, src[agree], 1)
+        sizes = np.bincount(labels[member], minlength=k)
+        mem_idx = np.flatnonzero(member)
+        ev[mem_idx] = net.degrees[mem_idx] - same[mem_idx]
+        av[mem_idx] = sizes[labels[mem_idx]] - 1 - same[mem_idx]
+
+    e_k = np.zeros(max(k, 1), dtype=np.float64)[:k]
+    a_k = np.zeros(max(k, 1), dtype=np.float64)[:k]
+    if k:
+        sizes = np.bincount(labels[member], minlength=k).astype(np.float64)
+        e_sum = np.bincount(labels[member], weights=ev[member], minlength=k)
+        a_sum = np.bincount(labels[member], weights=av[member], minlength=k)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            e_k = np.where(sizes > 0, e_sum / np.maximum(sizes, 1), 0.0)
+            a_k = np.where(sizes > 0, a_sum / np.maximum(sizes, 1), 0.0)
+
+    # Outliers (Definition 3.1 / Eq. (4)).  When an average is zero every
+    # member's value is zero too; reading "e_v ≥ 30·0" literally would make
+    # everyone an outlier, so degenerate averages only flag positive values
+    # (which cannot exist) — i.e. they flag nobody, as Markov intends.
+    outlier = np.zeros(n, dtype=bool)
+    if k and member.any():
+        mem_idx = np.flatnonzero(member)
+        lab = labels[mem_idx]
+        f = cfg.outlier_factor
+        bad_e = np.where(
+            e_k[lab] > 0, ev[mem_idx] >= f * e_k[lab], ev[mem_idx] > 0
+        )
+        bad_a = np.where(
+            a_k[lab] > 0, av[mem_idx] >= f * a_k[lab], av[mem_idx] > 0
+        )
+        outlier[mem_idx] = bad_e | bad_a
+
+    kind: list[str] = []
+    x_k = np.zeros(k, dtype=np.int64)
+    clamped = 0
+    x_cap = max(1, num_colors // 4)
+    for c in range(k):
+        kc = cfg.classify_clique(n, float(a_k[c]), float(e_k[c]))
+        kind.append(kc)
+        raw = cfg.x_of_clique(kc, n, float(a_k[c]), float(e_k[c]))
+        if raw > x_cap:
+            clamped += 1
+            raw = x_cap
+        x_k[c] = raw
+
+    x_node = np.zeros(n, dtype=np.int64)
+    if k and member.any():
+        mem_idx = np.flatnonzero(member)
+        x_node[mem_idx] = x_k[labels[mem_idx]]
+
+    # O(1) aggregation rounds: everyone broadcasts (e_v, a_v); clique
+    # leaders broadcast (e_K, a_K, class, x(K)) back.  Charged as 3 rounds
+    # of bounded counters (§3.4: "aggregation on a depth-2 BFS tree").
+    cnt_bits = bits_for_count(max(net.delta, 1))
+    net.account_vector_round(int(member.sum()), 2 * cnt_bits, phase=phase)
+    net.account_vector_round(k, 2 * cnt_bits, phase=phase)
+    net.account_vector_round(k, 2 + bits_for_count(num_colors), phase=phase)
+
+    return CliqueInfo(
+        acd=acd,
+        ev=ev,
+        av=av,
+        e_k=e_k,
+        a_k=a_k,
+        kind=kind,
+        x_k=x_k,
+        x_node=x_node,
+        outlier_mask=outlier,
+        x_clamped=clamped,
+    )

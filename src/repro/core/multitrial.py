@@ -1,0 +1,142 @@
+"""MultiTrial: trying many colors per round under O(log n)-bit broadcasts
+(Lemma 2.14, [SW10, HN23, HKNT22]).
+
+The bandwidth trick (Challenge 1 of §1.2): instead of broadcasting the
+tried colors explicitly, a node broadcasts one short *seed*; every
+neighbor expands the seed into the same pseudorandom sequence of colors
+from the node's publicly known list L(v) (Property 1 of Lemma 2.14 — in
+this pipeline every list is a color interval, and interval endpoints were
+broadcast during setup).
+
+Adoption rule: v adopts the first color c in its expanded sequence such
+that (a) no colored neighbor holds c and (b) no *smaller-ID* active
+neighbor u has c anywhere in u's expanded sequence.  Rule (b) makes
+simultaneous adoption conflict-free: if adjacent u < v both could adopt c,
+then c ∈ X_u, so v skipped it.
+
+The number of tries grows geometrically per iteration — the engine behind
+the O(log* n) bound: with slack ≥ 2d̂ each try fails with probability
+≤ 1/2, so the uncolored degree decays doubly exponentially while the try
+budget catches up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import ColoringConfig
+from repro.core.state import ColoringState
+from repro.hashing.expander import walk_colors
+from repro.hashing.prg import expand_indices
+from repro.simulator.rng import SeedSequencer
+from repro.util.bitio import bits_for_color
+
+__all__ = ["MultiTrialReport", "multitrial"]
+
+
+@dataclass
+class MultiTrialReport:
+    iterations: int = 0
+    colored: int = 0
+    remaining: int = 0
+    per_iteration: list[dict] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "iterations": self.iterations,
+            "colored": self.colored,
+            "remaining": self.remaining,
+        }
+
+
+def _expand_list(seed: int, k: int, lo: int, hi: int, sampler: str = "prg") -> np.ndarray:
+    """The public expansion both v and its neighbors compute: k colors from
+    the interval [lo, hi) — via counter-mode PRG or the [HN23] expander
+    walk, per config."""
+    width = hi - lo
+    if width <= 0 or k <= 0:
+        return np.empty(0, dtype=np.int64)
+    if sampler == "expander":
+        return walk_colors(seed, k, lo, hi)
+    return lo + expand_indices(seed, k, width)
+
+
+def multitrial(
+    state: ColoringState,
+    mask: np.ndarray,
+    list_lo: np.ndarray,
+    list_hi: np.ndarray,
+    cfg: ColoringConfig,
+    seq: SeedSequencer,
+    phase: str,
+) -> MultiTrialReport:
+    """Color (as many as possible of) the nodes in ``mask`` whose color
+    lists are the intervals ``[list_lo[v], list_hi[v])``.
+
+    Returns a report; nodes still uncolored after ``cfg.multitrial_max_iters``
+    iterations are left for the caller (the cleanup phase picks them up —
+    with the paper's slack guarantees this does not happen w.h.p.).
+    """
+    net = state.net
+    report = MultiTrialReport()
+    k = float(cfg.multitrial_initial)
+    for it in range(cfg.multitrial_max_iters):
+        active = np.flatnonzero(mask & (state.colors < 0))
+        if active.size == 0:
+            break
+        report.iterations += 1
+        k_i = int(min(cfg.multitrial_cap, max(1, round(k))))
+
+        active_set = set(int(v) for v in active)
+        seeds = {int(v): seq.derive_seed("mt", phase, it, int(v)) for v in active}
+        expansions: dict[int, np.ndarray] = {
+            v: _expand_list(
+                seeds[v], k_i, int(list_lo[v]), int(list_hi[v]), cfg.multitrial_sampler
+            )
+            for v in active_set
+        }
+
+        adopt_nodes: list[int] = []
+        adopt_colors: list[int] = []
+        for v in active:
+            v = int(v)
+            x_v = expansions[v]
+            if x_v.size == 0:
+                continue
+            nbrs = net.neighbors(v)
+            nbr_colors = state.colors[nbrs]
+            nbr_colors = nbr_colors[nbr_colors >= 0]
+            forbidden_parts = [nbr_colors]
+            for u in nbrs:
+                u = int(u)
+                if u < v and u in active_set:
+                    forbidden_parts.append(expansions[u])
+            forbidden = (
+                np.concatenate(forbidden_parts) if len(forbidden_parts) > 1 else nbr_colors
+            )
+            ok = ~np.isin(x_v, forbidden)
+            hits = np.flatnonzero(ok)
+            if hits.size:
+                adopt_nodes.append(v)
+                adopt_colors.append(int(x_v[hits[0]]))
+
+        if adopt_nodes:
+            state.adopt(np.asarray(adopt_nodes), np.asarray(adopt_colors))
+        # Round 1: seeds (one O(log n)-bit word — capped for tiny graphs
+        # where 64 raw bits would exceed the scaled budget); round 2:
+        # adopted colors.
+        seed_bits = min(64, net.bandwidth_bits) if net.bandwidth_bits else 64
+        net.account_vector_round(int(active.size), seed_bits, phase=phase)
+        net.account_vector_round(
+            len(adopt_nodes), bits_for_color(state.delta), phase=phase
+        )
+        report.colored += len(adopt_nodes)
+        report.per_iteration.append(
+            {"iteration": it, "tries": k_i, "active": int(active.size), "colored": len(adopt_nodes)}
+        )
+        k *= cfg.multitrial_growth
+
+    report.remaining = int((mask & (state.colors < 0)).sum())
+    return report

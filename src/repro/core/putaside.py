@@ -1,0 +1,342 @@
+"""Put-aside sets: creation (Lemma 3.4), reduction (Lemma 3.12/3.13,
+Algorithm 6) and the O(1)-round finish (Lemma 3.10).
+
+Very dense ("full") cliques generate too little permanent slack for
+MultiTrial's ℓ = Θ(log^{1.1} n) requirement.  The fix (Challenge 3 of
+§1.2, after [HKNT22]): park Θ(ℓ) *inliers* per full clique — the put-aside
+set P_K — uncolored until the very end; their uncolored presence hands
+every other member ℓ of temporary slack.  Selection guarantees **no edges
+between put-aside sets of different cliques**, so at the end each P_K can
+be colored purely inside K:
+
+1. ``CompressTry`` (Algorithm 6): every node pre-samples k colors from a
+   publicly known list and ships them all at once (Many-to-All,
+   Claim 3.11); everyone then *locally* replays the sequential greedy in
+   ID order — k TryColor iterations compressed into O(1) rounds.
+2. Once |P̂_K| = O(log n / log log n), nodes broadcast entire candidate
+   lists using O(log log n)-bit color indices and finish by simulating the
+   greedy with no further communication (Lemma 3.10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import ColoringConfig
+from repro.core.cliques import CliqueInfo
+from repro.core.state import ColoringState
+from repro.simulator.rng import SeedSequencer
+from repro.util.bitio import bits_for_id, bits_for_int
+from repro.util.mathx import poly_log
+
+__all__ = [
+    "PutAsideReport",
+    "select_putaside_sets",
+    "compress_try",
+    "color_putaside_sets",
+]
+
+
+@dataclass
+class PutAsideReport:
+    cliques_with_sets: int = 0
+    total_selected: int = 0
+    undersized_cliques: int = 0  # couldn't reach the target size
+    compress_rounds: int = 0
+    finish_rounds: int = 0
+    colored: int = 0
+    left_uncolored: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "cliques_with_sets": self.cliques_with_sets,
+            "total_selected": self.total_selected,
+            "undersized_cliques": self.undersized_cliques,
+            "compress_rounds": self.compress_rounds,
+            "finish_rounds": self.finish_rounds,
+            "colored": self.colored,
+            "left_uncolored": self.left_uncolored,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Selection (Lemma 3.4)
+# ---------------------------------------------------------------------------
+
+
+def select_putaside_sets(
+    state: ColoringState,
+    info: CliqueInfo,
+    cfg: ColoringConfig,
+    seq: SeedSequencer,
+    phase: str = "setup/putaside",
+) -> tuple[dict[int, np.ndarray], PutAsideReport]:
+    """Pick P_K ⊆ I_K of size ~cfg.putaside_size(n) in every *full* clique
+    such that no edge joins two different put-aside sets.
+
+    Protocol (O(1) rounds): inliers of full cliques volunteer with
+    probability tuned to oversample 3×; volunteers broadcast a flag;
+    volunteers adjacent to a volunteer of *another* full clique withdraw
+    (both sides do — symmetric, so survivors are pairwise edge-free across
+    cliques); each clique keeps its lowest-ID survivors up to the target.
+    """
+    net = state.net
+    report = PutAsideReport()
+    target = cfg.putaside_size(net.n)
+    rng = seq.shared_stream("putaside-volunteer")
+
+    full = [c for c in range(info.num_cliques) if info.kind[c] == "full"]
+    volunteer_mask = np.zeros(net.n, dtype=bool)
+    clique_of = info.labels
+    candidates_by_clique: dict[int, np.ndarray] = {}
+    for c in full:
+        members = info.members(c)
+        inliers = members[
+            (state.colors[members] < 0) & (~info.outlier_mask[members])
+        ]
+        if inliers.size == 0:
+            continue
+        p = min(1.0, 3.0 * target / inliers.size)
+        chosen = inliers[rng.random(inliers.size) < p]
+        volunteer_mask[chosen] = True
+        candidates_by_clique[c] = chosen
+
+    # Withdraw on cross-clique volunteer adjacency.
+    src, dst = net.edge_src, net.indices
+    cross = (
+        volunteer_mask[src]
+        & volunteer_mask[dst]
+        & (clique_of[src] != clique_of[dst])
+    )
+    withdraw = np.zeros(net.n, dtype=bool)
+    np.logical_or.at(withdraw, src[cross], True)
+
+    result: dict[int, np.ndarray] = {}
+    for c, chosen in candidates_by_clique.items():
+        survivors = np.sort(chosen[~withdraw[chosen]])
+        picked = survivors[:target]
+        if picked.size:
+            result[c] = picked.astype(np.int64)
+            report.cliques_with_sets += 1
+            report.total_selected += int(picked.size)
+            if picked.size < target:
+                report.undersized_cliques += 1
+
+    # Rounds: volunteer flag, withdraw flag (1 bit each).
+    net.account_vector_round(int(volunteer_mask.sum()), 1, phase=phase)
+    net.account_vector_round(int(withdraw.sum()), 1, phase=phase)
+    return result, report
+
+
+# ---------------------------------------------------------------------------
+# CompressTry (Algorithm 6)
+# ---------------------------------------------------------------------------
+
+
+def compress_try(
+    state: ColoringState,
+    s_nodes: np.ndarray,
+    lists: dict[int, np.ndarray],
+    cfg: ColoringConfig,
+    seq: SeedSequencer,
+    tag: object = 0,
+) -> tuple[list[int], list[int]]:
+    """One CompressTry instance: returns (nodes, colors) the sequential
+    ID-order greedy would color.  Nothing is adopted here — the caller
+    composes instances (the §3.3 log log n parallel repetitions) and adopts
+    the best outcome.
+
+    Every node v pre-samples k colors from L(v) ∩ Ψ(v); in ID order, v
+    takes its first sample not already taken by a smaller-ID node of S.
+    """
+    k = max(1, cfg.compress_try_colors)
+    order = np.sort(np.asarray(s_nodes, dtype=np.int64))
+    taken: set[int] = set()
+    nodes_out: list[int] = []
+    colors_out: list[int] = []
+    for v in order:
+        v = int(v)
+        lv = lists.get(v)
+        if lv is None or lv.size == 0:
+            continue
+        pal = state.palette(v)
+        usable = np.intersect1d(lv, pal, assume_unique=False)
+        if usable.size == 0:
+            continue
+        rng = seq.node_stream("compress-try", v, tag)
+        samples = usable[rng.integers(0, usable.size, size=k)]
+        for c in samples:
+            c = int(c)
+            if c not in taken:
+                taken.add(c)
+                nodes_out.append(v)
+                colors_out.append(c)
+                break
+    return nodes_out, colors_out
+
+
+def _clique_palette(state: ColoringState, members: np.ndarray) -> np.ndarray:
+    """Ψ(K) = [Δ+1] \\ C(K) (Definition 2.7)."""
+    used = np.zeros(state.num_colors, dtype=bool)
+    mc = state.colors[members]
+    used[mc[mc >= 0]] = True
+    return np.flatnonzero(~used).astype(np.int64)
+
+
+def _anti_neighbor_colors(
+    state: ColoringState, members: np.ndarray, v: int
+) -> np.ndarray:
+    """C(K \\ N(v)): colors of v's anti-neighbors inside K — the list
+    augmentation of Lemma 3.13's second stage."""
+    nbrs = set(int(u) for u in state.net.neighbors(v))
+    anti = [int(u) for u in members if int(u) != v and int(u) not in nbrs]
+    cols = state.colors[np.asarray(anti, dtype=np.int64)] if anti else np.empty(0, dtype=np.int64)
+    return np.unique(cols[cols >= 0]).astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Coloring the put-aside sets (Lemmas 3.10, 3.13)
+# ---------------------------------------------------------------------------
+
+
+def color_putaside_sets(
+    state: ColoringState,
+    info: CliqueInfo,
+    putaside: dict[int, np.ndarray],
+    cfg: ColoringConfig,
+    seq: SeedSequencer,
+    phase: str = "putaside",
+) -> PutAsideReport:
+    """Color every put-aside set.  Put-aside sets have no cross edges, so
+    cliques are processed independently (simultaneously in model time)."""
+    net = state.net
+    report = PutAsideReport()
+    log_thr = cfg.log_threshold(net.n)
+
+    max_compress_rounds = 0
+    max_finish_rounds = 0
+    compress_msgs: list[tuple[int, int]] = []  # (participants, bits) per clique
+    finish_msgs: list[tuple[int, int]] = []
+    for c, p_nodes in putaside.items():
+        members = info.members(c)
+        pending = p_nodes[state.colors[p_nodes] < 0]
+        if pending.size == 0:
+            continue
+
+        # --- reduction stage(s) via CompressTry ---
+        stages: list[dict[int, np.ndarray]] = []
+        psi_k = _clique_palette(state, members)
+        if info.a_k[c] >= log_thr:
+            # Colorful matching gave the clique palette surplus a_K ≥ a_v:
+            # the clique palette alone suffices (first case of Lemma 3.13).
+            stages.append({int(v): psi_k for v in pending})
+        else:
+            # Two-stage: clique palette first, then augmented lists with
+            # anti-neighbor colors (second case of Lemma 3.13).
+            stages.append({int(v): psi_k for v in pending})
+            stages.append(
+                {
+                    int(v): np.union1d(
+                        psi_k, _anti_neighbor_colors(state, members, int(v))
+                    )
+                    for v in pending
+                }
+            )
+
+        rounds_here = 0
+        for stage_idx, lists in enumerate(stages):
+            pending = pending[state.colors[pending] < 0]
+            if pending.size == 0:
+                break
+            # log log n independent instances in parallel; adopt the best.
+            best: tuple[list[int], list[int]] = ([], [])
+            for rep in range(max(1, cfg.compress_try_repeats)):
+                nodes_out, colors_out = compress_try(
+                    state, pending, lists, cfg, seq, tag=(c, stage_idx, rep)
+                )
+                if len(nodes_out) > len(best[0]):
+                    best = (nodes_out, colors_out)
+            if best[0]:
+                state.adopt(
+                    np.asarray(best[0], dtype=np.int64),
+                    np.asarray(best[1], dtype=np.int64),
+                )
+                report.colored += len(best[0])
+            # Bits: k color-indices per instance, all instances in one
+            # Many-to-All wave (2 rounds).
+            list_size = max((arr.size for arr in lists.values()), default=1)
+            msg_bits = (
+                cfg.compress_try_colors
+                * max(1, cfg.compress_try_repeats)
+                * bits_for_int(max(list_size, 2))
+                + bits_for_id(net.n)
+            )
+            waves = 1
+            budget = net.bandwidth_bits
+            if budget is not None and msg_bits > budget:
+                waves = int(np.ceil(msg_bits / budget))
+                msg_bits = budget
+            compress_msgs.append((int(pending.size), msg_bits))
+            rounds_here += 2 * waves
+        max_compress_rounds = max(max_compress_rounds, rounds_here)
+
+        # --- finish (Lemma 3.10): broadcast lists, simulate greedy ---
+        pending = p_nodes[state.colors[p_nodes] < 0]
+        if pending.size:
+            psi_k = _clique_palette(state, members)
+            nodes_fin: list[int] = []
+            cols_fin: list[int] = []
+            taken: set[int] = set()
+            for v in np.sort(pending):
+                v = int(v)
+                lv = np.union1d(psi_k, _anti_neighbor_colors(state, members, v))
+                pal = state.palette(v)
+                usable = np.setdiff1d(
+                    np.intersect1d(lv, pal), np.asarray(sorted(taken), dtype=np.int64)
+                )
+                if usable.size:
+                    cchoice = int(usable[0])
+                    taken.add(cchoice)
+                    nodes_fin.append(v)
+                    cols_fin.append(cchoice)
+            if nodes_fin:
+                state.adopt(
+                    np.asarray(nodes_fin, dtype=np.int64),
+                    np.asarray(cols_fin, dtype=np.int64),
+                )
+                report.colored += len(nodes_fin)
+            # Bits: |P̂_K|+1 colors of O(log log n) bits each.
+            color_code_bits = bits_for_int(
+                max(int(poly_log(net.n, 3.0, 1.0)), 2)
+            )
+            msg_bits = (pending.size + 1) * max(1, color_code_bits // 2)
+            budget = net.bandwidth_bits
+            waves = 1
+            if budget is not None and msg_bits > budget:
+                waves = int(np.ceil(msg_bits / budget))
+                msg_bits = budget
+            finish_msgs.append((int(pending.size), msg_bits))
+            max_finish_rounds = max(max_finish_rounds, 2 * waves)
+
+    # Cliques run in parallel: charge the max round count once, with the
+    # aggregate message volume.
+    if compress_msgs:
+        total_part = sum(p for p, _ in compress_msgs)
+        bit_level = max(b for _, b in compress_msgs)
+        for _ in range(max_compress_rounds):
+            net.account_vector_round(total_part, bit_level, phase=phase)
+    if finish_msgs:
+        total_part = sum(p for p, _ in finish_msgs)
+        bit_level = max(b for _, b in finish_msgs)
+        for _ in range(max_finish_rounds):
+            net.account_vector_round(total_part, bit_level, phase=phase)
+
+    report.compress_rounds = max_compress_rounds
+    report.finish_rounds = max_finish_rounds
+    leftovers = 0
+    for c, p_nodes in putaside.items():
+        leftovers += int((state.colors[p_nodes] < 0).sum())
+    report.left_uncolored = leftovers
+    return report

@@ -1,0 +1,121 @@
+"""Relabel (Algorithm 3): O(log log n)-bit labels unique within a set.
+
+Permutations of poly(log n)-sized node sets must fit into O(log n)-bit
+messages; with Θ(log n)-bit node IDs they do not.  Relabel fixes this:
+every node of S samples x = ⌈C log n / log log n⌉ candidate labels from
+[|S|²·log n] (each label costs O(log log n) bits when |S| = poly log n),
+collisions per candidate index j are detected by common neighbors (S sits
+inside a 2-hop-connected set), and the smallest collision-free index wins.
+
+Lemma 4.3: success w.h.p. in O(1) rounds.  On the (measurable) failure
+event the implementation falls back to rank-by-ID labels and flags it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ColoringConfig
+from repro.simulator.network import BroadcastNetwork
+from repro.simulator.rng import SeedSequencer
+from repro.util.bitio import bits_for_int
+from repro.util.mathx import poly_log
+
+__all__ = ["RelabelResult", "relabel"]
+
+
+@dataclass
+class RelabelResult:
+    nodes: np.ndarray  # the set S
+    labels: np.ndarray  # new labels, unique within S
+    label_universe: int  # labels live in [label_universe]
+    succeeded: bool  # False = fell back to rank labels
+    chosen_index: int  # which candidate index j won (-1 on fallback)
+    rounds: int
+
+    @property
+    def label_bits(self) -> int:
+        return bits_for_int(self.label_universe)
+
+
+def relabel(
+    net: BroadcastNetwork,
+    nodes: np.ndarray,
+    cfg: ColoringConfig,
+    seq: SeedSequencer,
+    phase: str = "sct/relabel",
+    tag: object = 0,
+    account: bool = True,
+) -> RelabelResult:
+    """Run Algorithm 3 on the set ``nodes`` (inside a 2-hop-connected T).
+
+    Rounds: one batch for the x candidate labels, one for the collision
+    bitmaps.  ``account=False`` skips metric charging — used when many
+    disjoint buckets run Relabel *in parallel* (Algorithm 4/5 step 3) and
+    the caller charges the shared rounds once.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    s = nodes.size
+    n = net.n
+    if s == 0:
+        return RelabelResult(
+            nodes=nodes,
+            labels=np.empty(0, dtype=np.int64),
+            label_universe=1,
+            succeeded=True,
+            chosen_index=0,
+            rounds=0,
+        )
+
+    # x = ⌈C log n / log log n⌉ candidate indices.
+    loglog = max(np.log2(max(np.log2(max(n, 4)), 2.0)), 1.0)
+    x = max(1, int(np.ceil(cfg.log_threshold(n) / loglog)))
+    universe = max(2, int(s * s * max(np.log2(max(n, 2)), 1.0)))
+
+    rng = seq.stream("relabel", phase, tag)
+    candidates = rng.integers(0, universe, size=(s, x))
+
+    chosen = -1
+    for j in range(x):
+        if np.unique(candidates[:, j]).size == s:
+            chosen = j
+            break
+
+    # Rounds: step 1 broadcasts x labels of bits_for_int(universe) bits
+    # each; step 2 broadcasts an x-bit collision map (detection by common
+    # neighbors — S is 2-hop connected, so every colliding pair is seen).
+    label_bits = bits_for_int(universe)
+    per_round_labels = max(1, (net.bandwidth_bits or x * label_bits) // label_bits)
+    rounds_step1 = int(np.ceil(x / per_round_labels))
+    if account:
+        for _ in range(rounds_step1):
+            net.account_vector_round(
+                s, min(x, per_round_labels) * label_bits, phase=phase
+            )
+        net.account_vector_round(s, x, phase=phase)
+    rounds = rounds_step1 + 1
+
+    if chosen >= 0:
+        labels = candidates[:, chosen].astype(np.int64)
+        return RelabelResult(
+            nodes=nodes,
+            labels=labels,
+            label_universe=universe,
+            succeeded=True,
+            chosen_index=chosen,
+            rounds=rounds,
+        )
+    # Fallback (measurably rare, per Lemma 4.3): rank within sorted IDs.
+    order = np.argsort(nodes)
+    labels = np.empty(s, dtype=np.int64)
+    labels[order] = np.arange(s)
+    return RelabelResult(
+        nodes=nodes,
+        labels=labels,
+        label_universe=max(s, 2),
+        succeeded=False,
+        chosen_index=-1,
+        rounds=rounds,
+    )

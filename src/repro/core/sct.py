@@ -1,0 +1,166 @@
+"""Synchronized Color Trial (§3.2, Lemma 3.5, §4).
+
+The dense-node engine (Challenge 2 of §1.2): inside each almost-clique K,
+distribute the colors of the clique palette Ψ(K)\\[x(K)] bijectively to the
+uncolored members via a random permutation — no two members can collide,
+so a member only fails because of *external* neighbors.  Lemma 3.5: w.h.p.
+at most O(e_K + log n) members per clique stay uncolored.
+
+Pipeline per clique (all cliques run in parallel; rounds are charged as
+the maximum over cliques, messages as the sum):
+
+1. LearnPalette (Algorithm 2) — everyone learns Ψ(K), O(1) rounds;
+2. Permute (Algorithm 5 by default) — a near-uniform π of S = K̂\\P_K;
+3. node with position p tries the p-th color of Ψ(K)\\[x(K)];
+4. global conflict resolution (colored neighbors, smaller-ID ties) and
+   adoption;
+5. open cliques only: O(1) extra TryColor rounds restricted to
+   Ψ(v)\\[x(v)] (proof of Lemma 3.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import ColoringConfig
+from repro.core.cliques import CliqueInfo
+from repro.core.learn_palette import learn_palette
+from repro.core.permute import sample_permutation
+from repro.core.state import ColoringState
+from repro.core.trycolor import palette_interval_sampler, resolve_proposals, try_color_round
+from repro.simulator.rng import SeedSequencer
+from repro.util.bitio import bits_for_color
+
+__all__ = ["SCTReport", "synchronized_color_trial"]
+
+
+@dataclass
+class SCTReport:
+    tried: int = 0
+    colored: int = 0
+    cliques: int = 0
+    permute_rounds_max: int = 0
+    learn_palette_incomplete: int = 0
+    palette_deficits: int = 0  # cliques where |Ψ(K)\[x]| < |S| (Lemma 3.6 check)
+    leftover_by_clique: dict[int, int] = field(default_factory=dict)
+    extra_trycolor_rounds: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "tried": self.tried,
+            "colored": self.colored,
+            "cliques": self.cliques,
+            "permute_rounds_max": self.permute_rounds_max,
+            "learn_palette_incomplete": self.learn_palette_incomplete,
+            "palette_deficits": self.palette_deficits,
+            "extra_trycolor_rounds": self.extra_trycolor_rounds,
+        }
+
+
+def synchronized_color_trial(
+    state: ColoringState,
+    info: CliqueInfo,
+    putaside: dict[int, np.ndarray],
+    cfg: ColoringConfig,
+    seq: SeedSequencer,
+    phase: str = "sct",
+) -> SCTReport:
+    """Run the SCT in every almost-clique simultaneously."""
+    net = state.net
+    report = SCTReport()
+    proposals = np.full(state.n, -1, dtype=np.int64)
+
+    permute_rounds = 0
+    lp_messages = 0
+    for c in range(info.num_cliques):
+        members = info.members(c)
+        aside = set(int(v) for v in putaside.get(c, np.empty(0, dtype=np.int64)))
+        unc = members[state.colors[members] < 0]
+        s_nodes = np.array([v for v in unc if int(v) not in aside], dtype=np.int64)
+        if s_nodes.size == 0:
+            continue
+        report.cliques += 1
+
+        knowledge = learn_palette(
+            state, members, cfg, seq, phase=f"{phase}/learn-palette", tag=c, account=False
+        )
+        lp_messages += members.size
+        if not knowledge.complete:
+            report.learn_palette_incomplete += 1
+
+        perm = sample_permutation(
+            net,
+            members,
+            s_nodes,
+            cfg,
+            seq,
+            phase=f"{phase}/permute",
+            tag=c,
+            account=False,
+        )
+        permute_rounds = max(permute_rounds, perm.rounds)
+
+        x_k = int(info.x_k[c])
+        row_of = {int(v): i for i, v in enumerate(knowledge.members)}
+        # Lemma 3.6 feasibility diagnostic: enough colors above the prefix?
+        available_true = int((np.flatnonzero(knowledge.true_free) >= x_k).sum())
+        if available_true < s_nodes.size:
+            report.palette_deficits += 1
+
+        for v, p in zip(perm.nodes, perm.pi):
+            v = int(v)
+            learned = knowledge.learned_palette(row_of[v])
+            learned = learned[learned >= x_k]
+            if p < learned.size:
+                proposals[v] = int(learned[p])
+                report.tried += 1
+
+    # Charge the parallel LearnPalette round(s) and the max permute rounds.
+    if report.cliques:
+        net.account_vector_round(
+            lp_messages, net.bandwidth_bits or 64, phase=f"{phase}/learn-palette"
+        )
+        for _ in range(permute_rounds):
+            net.account_vector_round(
+                lp_messages, net.bandwidth_bits or 64, phase=f"{phase}/permute"
+            )
+    report.permute_rounds_max = permute_rounds
+
+    # The trial itself: one simultaneous proposal round, globally resolved.
+    report.colored = resolve_proposals(
+        state, proposals, phase=f"{phase}/trial", bits=bits_for_color(state.delta)
+    )
+
+    # Leftovers per clique (the Lemma 3.5 / Claim 3.8 measurement).
+    for c in range(info.num_cliques):
+        members = info.members(c)
+        aside = set(int(v) for v in putaside.get(c, np.empty(0, dtype=np.int64)))
+        unc = [v for v in members[state.colors[members] < 0] if int(v) not in aside]
+        report.leftover_by_clique[c] = len(unc)
+
+    # Open cliques: extra TryColor rounds from Ψ(v)\[x(v)] (Lemma 3.7).
+    open_cliques = info.cliques_of_kind("open")
+    if open_cliques:
+        open_nodes_mask = np.zeros(state.n, dtype=bool)
+        for c in open_cliques:
+            members = info.members(c)
+            open_nodes_mask[members] = True
+        sampler = palette_interval_sampler(state, info.x_node, state.num_colors)
+        for r in range(cfg.sct_extra_trycolor_rounds):
+            participants = np.flatnonzero(open_nodes_mask & (state.colors < 0))
+            if participants.size == 0:
+                break
+            colored = try_color_round(
+                state,
+                participants,
+                sampler,
+                seq,
+                phase=f"{phase}/open-trycolor",
+                round_tag=r,
+            )
+            report.colored += colored
+            report.extra_trycolor_rounds += 1
+
+    return report

@@ -1,0 +1,57 @@
+"""Slack generation (Lemma 2.12, [EPS15]).
+
+Each node independently, with probability ``p_s = 1/200``, tries one
+uniform color — from ``[Δ+1] \\ [x(v)]`` in our pipeline, because the
+reserved prefix ``[x(v)]`` must stay untouched until MultiTrial (Step 1(i)
+of Algorithm 1).  Sparse nodes then hold Ω(ζ_v) permanent slack w.h.p.:
+two of their neighbors adopted the same color often enough.
+
+One round, one color broadcast per participant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ColoringConfig
+from repro.core.state import ColoringState
+from repro.core.trycolor import interval_sampler, try_color_round
+from repro.simulator.rng import SeedSequencer
+
+__all__ = ["SlackReport", "generate_slack"]
+
+
+@dataclass(frozen=True)
+class SlackReport:
+    participants: int
+    colored: int
+
+    def as_dict(self) -> dict:
+        return {"participants": self.participants, "colored": self.colored}
+
+
+def generate_slack(
+    state: ColoringState,
+    x_of_node: np.ndarray,
+    cfg: ColoringConfig,
+    seq: SeedSequencer,
+    phase: str = "slack",
+) -> SlackReport:
+    """Run the one slack-generation round.
+
+    ``x_of_node[v]`` is the reserved prefix x(v) (0 for sparse nodes, per
+    §3.4: "for consistency, let x(v) = 0 for all v ∈ V_sparse").
+    """
+    rng = seq.shared_stream("slack-participation")
+    participate = rng.random(state.n) < cfg.slack_probability
+    participate &= state.colors < 0
+    participants = np.flatnonzero(participate)
+
+    lo = np.minimum(x_of_node, state.num_colors - 1).astype(np.int64)
+    sampler = interval_sampler(lo, state.num_colors)
+    colored = try_color_round(
+        state, participants, sampler, seq, phase=phase, round_tag="slackgen"
+    )
+    return SlackReport(participants=int(participants.size), colored=colored)

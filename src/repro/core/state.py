@@ -1,0 +1,165 @@
+"""Partial colorings, palettes, uncolored degrees and slack (§2, §2.2).
+
+:class:`ColoringState` is the mutable heart of the pipeline.  It maintains
+the paper's invariants as hard assertions:
+
+* **monotonicity** — once ``C(v)`` is fixed it never changes (§2,
+  "monotone sequence of colorings");
+* **propriety** — :meth:`adopt` refuses any batch that would put the same
+  color on two adjacent nodes (either against already-colored neighbors or
+  within the adopting batch itself).
+
+Everything is vectorized over the network's CSR arrays; palettes are
+materialized per node on demand (the palette of Definition 2.10 is the
+complement of the colored neighborhood).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulator.network import BroadcastNetwork
+
+__all__ = ["ColoringState", "ImproperColoring"]
+
+UNCOLORED = -1
+
+
+class ImproperColoring(AssertionError):
+    """Raised when an adoption batch would violate propriety."""
+
+
+class ColoringState:
+    """A partial (Δ+1)-coloring of the network's graph.
+
+    Parameters
+    ----------
+    net:
+        The communication graph.
+    num_colors:
+        Palette size; defaults to Δ+1 (the problem's palette ``[Δ+1]``).
+    """
+
+    def __init__(self, net: BroadcastNetwork, num_colors: int | None = None):
+        self.net = net
+        self.n = net.n
+        self.delta = net.delta
+        self.num_colors = int(num_colors) if num_colors is not None else self.delta + 1
+        if self.num_colors < 1:
+            self.num_colors = 1
+        self.colors = np.full(self.n, UNCOLORED, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def uncolored_mask(self) -> np.ndarray:
+        return self.colors < 0
+
+    @property
+    def colored_mask(self) -> np.ndarray:
+        return self.colors >= 0
+
+    def uncolored_nodes(self) -> np.ndarray:
+        return np.flatnonzero(self.colors < 0)
+
+    def num_uncolored(self) -> int:
+        return int((self.colors < 0).sum())
+
+    def uncolored_degrees(self) -> np.ndarray:
+        """d̂(v): number of uncolored neighbors, for every node."""
+        return self.net.subgraph_degrees(self.colors < 0)
+
+    def neighbor_color_set(self, v: int) -> set[int]:
+        """Colors currently used in N(v)."""
+        cols = self.colors[self.net.neighbors(v)]
+        return set(int(c) for c in cols[cols >= 0])
+
+    def palette(self, v: int) -> np.ndarray:
+        """Ψ(v) (Definition 2.10): colors of [num_colors] unused in N(v)."""
+        used = np.zeros(self.num_colors, dtype=bool)
+        cols = self.colors[self.net.neighbors(v)]
+        cols = cols[(cols >= 0) & (cols < self.num_colors)]
+        used[cols] = True
+        return np.flatnonzero(~used).astype(np.int64)
+
+    def palette_sizes(self) -> np.ndarray:
+        """|Ψ(v)| for every node, vectorized: num_colors − #distinct colors
+        in the neighborhood."""
+        distinct = np.zeros(self.n, dtype=np.int64)
+        src = self.net.edge_src
+        dst_colors = self.colors[self.net.indices]
+        ok = dst_colors >= 0
+        if ok.any():
+            # Count distinct (src, color) pairs via sorting.
+            pairs = src[ok].astype(np.int64) * (self.num_colors + 1) + dst_colors[ok]
+            uniq = np.unique(pairs)
+            np.add.at(distinct, (uniq // (self.num_colors + 1)).astype(np.int64), 1)
+        return self.num_colors - distinct
+
+    def slack(self) -> np.ndarray:
+        """s(v) = |Ψ(v)| − d̂(v) (Definition 2.11), for every node."""
+        return self.palette_sizes() - self.uncolored_degrees()
+
+    def count_colors_used(self) -> int:
+        used = self.colors[self.colors >= 0]
+        return int(np.unique(used).size) if used.size else 0
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def adopt(self, nodes: np.ndarray, new_colors: np.ndarray) -> None:
+        """Color ``nodes[i]`` with ``new_colors[i]``; all-or-nothing with
+        full validation (monotonicity, range, propriety)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        new_colors = np.asarray(new_colors, dtype=np.int64)
+        if nodes.size == 0:
+            return
+        if nodes.size != new_colors.size:
+            raise ValueError("nodes/new_colors length mismatch")
+        if np.unique(nodes).size != nodes.size:
+            raise ImproperColoring("duplicate nodes in adoption batch")
+        if (self.colors[nodes] >= 0).any():
+            raise ImproperColoring("monotonicity violation: recoloring a node")
+        if ((new_colors < 0) | (new_colors >= self.num_colors)).any():
+            raise ImproperColoring("color out of palette range")
+        proposal = self.colors.copy()
+        proposal[nodes] = new_colors
+        # Edge-wise propriety check on the would-be coloring, restricted to
+        # edges touching the batch.
+        touched = np.zeros(self.n, dtype=bool)
+        touched[nodes] = True
+        src, dst = self.net.edge_src, self.net.indices
+        rel = touched[src]
+        bad = (
+            rel
+            & (proposal[src] >= 0)
+            & (proposal[src] == proposal[dst])
+        )
+        if bad.any():
+            k = int(np.flatnonzero(bad)[0])
+            raise ImproperColoring(
+                f"edge ({src[k]}, {dst[k]}) would be monochromatic "
+                f"(color {proposal[src[k]]})"
+            )
+        self.colors = proposal
+
+    # ------------------------------------------------------------------
+    # Global checks
+    # ------------------------------------------------------------------
+    def is_proper(self) -> bool:
+        """No monochromatic edge among colored endpoints."""
+        src, dst = self.net.edge_src, self.net.indices
+        c = self.colors
+        bad = (c[src] >= 0) & (c[src] == c[dst])
+        return not bool(bad.any())
+
+    def is_complete(self) -> bool:
+        return bool((self.colors >= 0).all())
+
+    def verify(self) -> None:
+        """Assert the full (Δ+1)-coloring contract."""
+        if not self.is_proper():
+            raise ImproperColoring("coloring is not proper")
+        if (self.colors >= self.num_colors).any():
+            raise ImproperColoring("color out of range")

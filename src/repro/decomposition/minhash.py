@@ -1,0 +1,80 @@
+"""BCONGEST neighborhood-similarity sketches via b-bit minwise hashing.
+
+Every node repeatedly broadcasts a few bits of minhash fingerprint of its
+closed neighborhood; after ``T`` samples each node can estimate, for every
+incident edge, the Jaccard similarity of the two closed neighborhoods.
+With constant fingerprint width ``b``, ``⌊bandwidth/b⌋`` samples fit in
+one ``O(log n)``-bit broadcast, which is how the almost-clique
+decomposition achieves its O(ε⁻⁴)-round budget (Lemma 2.5, following the
+[FGH+23] strategy of packing many tiny sketches per message).
+
+The hash functions are shared randomness: all nodes derive ``h_j`` from the
+public seed and the sample index — exactly the kind of shared coin the
+decomposition papers assume (or realize with one extra seed-broadcast
+round, which we account for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hashing.fingerprints import minwise_fingerprints
+from repro.simulator.network import BroadcastNetwork
+
+__all__ = ["SimilaritySketch", "compute_sketches", "estimate_edge_similarity"]
+
+
+@dataclass
+class SimilaritySketch:
+    """Fingerprint matrix plus the accounting of the rounds that shipped it."""
+
+    fingerprints: np.ndarray  # (T, n) uint16
+    bits_per_sample: int
+    samples: int
+    rounds_used: int
+
+
+def compute_sketches(
+    net: BroadcastNetwork,
+    num_samples: int,
+    bits: int,
+    salt: int,
+    phase: str = "acd/sketch",
+) -> SimilaritySketch:
+    """Compute fingerprints and account the broadcast rounds needed to
+    exchange them under the network's bandwidth cap."""
+    fps = minwise_fingerprints(
+        net.indptr, net.indices, net.n, num_samples=num_samples, bits=bits, salt=salt
+    )
+    budget = net.bandwidth_bits or (64 * max(1, num_samples))
+    per_round = max(1, budget // bits)
+    rounds = int(np.ceil(num_samples / per_round))
+    for r in range(rounds):
+        batch = min(per_round, num_samples - r * per_round)
+        net.account_vector_round(net.n, batch * bits, phase=phase)
+    return SimilaritySketch(
+        fingerprints=fps, bits_per_sample=bits, samples=num_samples, rounds_used=rounds
+    )
+
+
+def estimate_edge_similarity(
+    net: BroadcastNetwork, sketch: SimilaritySketch
+) -> np.ndarray:
+    """Per-undirected-edge estimate of Jaccard(N[u], N[v]).
+
+    Uses the standard b-bit minhash debiasing: if fingerprints collide with
+    empirical rate ``r``, then ``Ĵ = (r − 2^{-b}) / (1 − 2^{-b})`` clipped
+    to [0, 1].  Each endpoint of an edge computes this locally from the
+    fingerprints it received — no extra rounds.
+    """
+    edges = net.undirected_edges()
+    if edges.size == 0:
+        return np.empty(0, dtype=np.float64)
+    fps = sketch.fingerprints
+    eq = fps[:, edges[:, 0]] == fps[:, edges[:, 1]]
+    rate = eq.mean(axis=0)
+    floor = 2.0 ** (-sketch.bits_per_sample)
+    est = (rate - floor) / (1.0 - floor)
+    return np.clip(est, 0.0, 1.0)

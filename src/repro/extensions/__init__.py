@@ -1,0 +1,11 @@
+"""Extensions beyond the paper's core theorem.
+
+* :mod:`repro.extensions.degplusone` — (deg+1)-coloring: every node is
+  restricted to colors ``[deg(v)+1]``, the harder list-coloring flavor
+  solved by the paper's CONGEST ancestor [HKNT22] and the natural
+  "future work" direction for the broadcast setting.
+"""
+
+from repro.extensions.degplusone import deg_plus_one_coloring, DegPlusOneResult
+
+__all__ = ["deg_plus_one_coloring", "DegPlusOneResult"]

@@ -1,0 +1,30 @@
+"""Workload generators and graph property audits."""
+
+from repro.graphs.generators import (
+    gnp_graph,
+    random_regular_graph,
+    clique_blob_graph,
+    planted_acd_graph,
+    geometric_graph,
+    hard_mix_graph,
+    ring_graph,
+    star_graph,
+    empty_graph,
+    complete_graph,
+)
+from repro.graphs.properties import GraphSummary, summarize_graph
+
+__all__ = [
+    "gnp_graph",
+    "random_regular_graph",
+    "clique_blob_graph",
+    "planted_acd_graph",
+    "geometric_graph",
+    "hard_mix_graph",
+    "ring_graph",
+    "star_graph",
+    "empty_graph",
+    "complete_graph",
+    "GraphSummary",
+    "summarize_graph",
+]

@@ -1,0 +1,285 @@
+"""Graph workload generators.
+
+The paper's algorithm behaves differently on *locally sparse* nodes (which
+earn slack from Lemma 2.12) and on *dense* nodes living in almost-cliques
+(which need the synchronized color trial).  The generators here produce
+both regimes and their mixtures:
+
+* :func:`gnp_graph`, :func:`random_regular_graph` — classic sparse-ish
+  random graphs (every node lands in ``V_sparse``).
+* :func:`clique_blob_graph`, :func:`planted_acd_graph` — unions of
+  near-cliques with controlled anti-degree (removed inside edges) and
+  external degree (added cross edges); these exercise the dense machinery
+  (matching, put-aside sets, SCT) and have a *known* ground-truth
+  decomposition for validation.
+* :func:`geometric_graph` — random geometric graphs, the wireless /
+  frequency-assignment motivation from the paper's introduction.
+* :func:`hard_mix_graph` — dense blobs embedded in a sparse sea.
+
+All generators return ``(n, edges)`` pairs accepted by
+:class:`~repro.simulator.network.BroadcastNetwork` and are deterministic in
+their ``seed``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "gnp_graph",
+    "random_regular_graph",
+    "clique_blob_graph",
+    "planted_acd_graph",
+    "geometric_graph",
+    "hard_mix_graph",
+    "ring_graph",
+    "star_graph",
+    "empty_graph",
+    "complete_graph",
+]
+
+GraphInput = tuple[int, np.ndarray]
+
+
+def _dedup(n: int, edges: Iterable[tuple[int, int]]) -> GraphInput:
+    arr = np.array([(min(u, v), max(u, v)) for u, v in edges if u != v], dtype=np.int64)
+    arr = arr.reshape(-1, 2)
+    if arr.size:
+        arr = np.unique(arr, axis=0)
+    return n, arr
+
+
+def empty_graph(n: int) -> GraphInput:
+    """n isolated nodes."""
+    return n, np.empty((0, 2), dtype=np.int64)
+
+
+def complete_graph(n: int) -> GraphInput:
+    """The clique K_n."""
+    idx = np.arange(n)
+    u, v = np.meshgrid(idx, idx, indexing="ij")
+    mask = u < v
+    return n, np.stack([u[mask], v[mask]], axis=1).astype(np.int64)
+
+
+def ring_graph(n: int) -> GraphInput:
+    """The n-cycle (classic log*-lower-bound topology)."""
+    if n < 3:
+        return empty_graph(n)
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return _dedup(n, edges)
+
+
+def star_graph(n: int) -> GraphInput:
+    """One hub joined to n-1 leaves."""
+    return _dedup(n, [(0, i) for i in range(1, n)])
+
+
+def gnp_graph(n: int, p: float, seed: int = 0) -> GraphInput:
+    """Erdős–Rényi G(n, p), vectorized sampling."""
+    rng = np.random.default_rng(seed)
+    if n < 2 or p <= 0:
+        return empty_graph(n)
+    # Sample the upper triangle in blocks to bound memory.
+    edges = []
+    block = 4_000_000
+    total_pairs = n * (n - 1) // 2
+    if total_pairs <= block:
+        iu = np.triu_indices(n, k=1)
+        mask = rng.random(iu[0].size) < p
+        edges_arr = np.stack([iu[0][mask], iu[1][mask]], axis=1)
+        return n, edges_arr.astype(np.int64)
+    # Row-block sampling for large n.
+    for start in range(0, n):
+        row_len = n - start - 1
+        if row_len <= 0:
+            continue
+        mask = rng.random(row_len) < p
+        cols = np.flatnonzero(mask) + start + 1
+        if cols.size:
+            edges.append(np.stack([np.full(cols.size, start), cols], axis=1))
+    if not edges:
+        return empty_graph(n)
+    return n, np.concatenate(edges).astype(np.int64)
+
+
+def random_regular_graph(n: int, d: int, seed: int = 0) -> GraphInput:
+    """A d-regular graph via the configuration model with retry/repair.
+
+    Multi-edges and self-loops from the pairing are dropped, so the result
+    is *near*-regular (degree ≤ d); exact regularity is not needed by any
+    experiment, only bounded Δ.
+    """
+    if n * d % 2 != 0:
+        d += 1
+    if d >= n:
+        raise ValueError("need d < n")
+    rng = np.random.default_rng(seed)
+    stubs = np.repeat(np.arange(n), d)
+    rng.shuffle(stubs)
+    pairs = stubs.reshape(-1, 2)
+    return _dedup(n, [(int(u), int(v)) for u, v in pairs])
+
+
+def clique_blob_graph(
+    num_cliques: int,
+    clique_size: int,
+    anti_edges_per_clique: int = 0,
+    external_edges_per_clique: int = 0,
+    seed: int = 0,
+) -> GraphInput:
+    """Union of ``num_cliques`` cliques of ``clique_size`` nodes each, with
+    ``anti_edges_per_clique`` random inside edges *removed* (these become
+    the anti-edges the colorful matching feeds on) and
+    ``external_edges_per_clique`` random cross-clique edges *added* (these
+    set the external degrees the SCT analysis is parameterized by).
+    """
+    rng = np.random.default_rng(seed)
+    n = num_cliques * clique_size
+    edges: set[tuple[int, int]] = set()
+    for k in range(num_cliques):
+        base = k * clique_size
+        members = np.arange(base, base + clique_size)
+        inside = [
+            (int(members[i]), int(members[j]))
+            for i in range(clique_size)
+            for j in range(i + 1, clique_size)
+        ]
+        if anti_edges_per_clique > 0 and inside:
+            drop_idx = rng.choice(
+                len(inside), size=min(anti_edges_per_clique, len(inside)), replace=False
+            )
+            drop = {inside[i] for i in drop_idx}
+        else:
+            drop = set()
+        edges.update(e for e in inside if e not in drop)
+    # External edges between distinct cliques.
+    for k in range(num_cliques):
+        added = 0
+        guard = 0
+        while added < external_edges_per_clique and num_cliques > 1 and guard < 50 * (
+            external_edges_per_clique + 1
+        ):
+            guard += 1
+            u = int(rng.integers(k * clique_size, (k + 1) * clique_size))
+            other = int(rng.integers(0, num_cliques - 1))
+            if other >= k:
+                other += 1
+            v = int(rng.integers(other * clique_size, (other + 1) * clique_size))
+            e = (min(u, v), max(u, v))
+            if e not in edges:
+                edges.add(e)
+                added += 1
+    return _dedup(n, edges)
+
+
+def planted_acd_graph(
+    num_cliques: int,
+    clique_size: int,
+    eps: float,
+    sparse_nodes: int = 0,
+    sparse_degree: int = 8,
+    seed: int = 0,
+) -> GraphInput:
+    """A graph with a *known* ε-almost-clique decomposition.
+
+    Degree discipline is what makes the ground truth valid: Definition
+    2.2(2b) requires every member to keep ``(1−ε)Δ`` neighbors *inside* its
+    clique, with Δ the **global** max degree.  So internal edges are kept
+    with probability ``1 − ε/8`` (inside degree ≈ ``(s−1)(1−ε/8)``), each
+    dense node receives at most ``⌊ε·s/8⌋`` cross-clique edges (external
+    degree ≤ ``ε·s/4`` counting both directions), and the sparse periphery
+    only wires among itself — its low degrees never move Δ.  Ground truth:
+    node ``v < num_cliques·clique_size`` belongs to clique
+    ``v // clique_size``; the rest are sparse.
+    """
+    rng = np.random.default_rng(seed)
+    n_dense = num_cliques * clique_size
+    n = n_dense + sparse_nodes
+    edges: set[tuple[int, int]] = set()
+    for k in range(num_cliques):
+        base = k * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                if rng.random() >= eps / 8.0:
+                    edges.add((base + i, base + j))
+    # Cross edges: per-node quota keeps external degrees ≤ ε·s/4.
+    ext_quota = max(0, int(eps * clique_size / 8.0))
+    if num_cliques > 1:
+        for v in range(n_dense):
+            k = v // clique_size
+            for _ in range(ext_quota):
+                other = int(rng.integers(0, num_cliques - 1))
+                if other >= k:
+                    other += 1
+                u = int(rng.integers(other * clique_size, (other + 1) * clique_size))
+                edges.add((min(u, v), max(u, v)))
+    # Sparse periphery: wires only among itself so dense degrees stay put.
+    if sparse_nodes > 1:
+        cap = min(sparse_degree, sparse_nodes - 1)
+        for v in range(n_dense, n):
+            for _ in range(cap):
+                u = n_dense + int(rng.integers(0, sparse_nodes))
+                if u != v:
+                    edges.add((min(u, v), max(u, v)))
+    return _dedup(n, edges)
+
+
+def geometric_graph(n: int, radius: float, seed: int = 0) -> GraphInput:
+    """Random geometric graph on the unit square — the wireless-network
+    motivation (frequency assignment) from the paper's introduction."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    # Grid-bucketed neighbor search keeps this O(n) for constant density.
+    cell = max(radius, 1e-9)
+    grid: dict[tuple[int, int], list[int]] = {}
+    for i, (x, y) in enumerate(pts):
+        grid.setdefault((int(x / cell), int(y / cell)), []).append(i)
+    edges = []
+    r2 = radius * radius
+    for (cx, cy), bucket in grid.items():
+        cand: list[int] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                cand.extend(grid.get((cx + dx, cy + dy), []))
+        for i in bucket:
+            xi, yi = pts[i]
+            for j in cand:
+                if j <= i:
+                    continue
+                dx_, dy_ = pts[j][0] - xi, pts[j][1] - yi
+                if dx_ * dx_ + dy_ * dy_ <= r2:
+                    edges.append((i, j))
+    return _dedup(n, edges)
+
+
+def hard_mix_graph(
+    num_cliques: int,
+    clique_size: int,
+    sparse_nodes: int,
+    sparse_p: float,
+    bridge_edges: int,
+    seed: int = 0,
+) -> GraphInput:
+    """Dense blobs embedded in a sparse G(n,p) sea with random bridges —
+    the mixed regime where both halves of the algorithm must cooperate."""
+    rng = np.random.default_rng(seed)
+    n_blob, blob_edges = clique_blob_graph(
+        num_cliques,
+        clique_size,
+        anti_edges_per_clique=max(1, clique_size // 8),
+        external_edges_per_clique=max(1, clique_size // 10),
+        seed=seed,
+    )
+    n_sea, sea_edges = gnp_graph(sparse_nodes, sparse_p, seed=seed + 1)
+    edges = [tuple(e) for e in blob_edges]
+    edges.extend((int(u) + n_blob, int(v) + n_blob) for u, v in sea_edges)
+    for _ in range(bridge_edges):
+        u = int(rng.integers(0, n_blob))
+        v = n_blob + int(rng.integers(0, max(n_sea, 1)))
+        if v < n_blob + n_sea:
+            edges.append((u, v))
+    return _dedup(n_blob + n_sea, edges)

@@ -1,0 +1,88 @@
+"""Graph property audits: degrees, density, sparsity summaries.
+
+These are *analysis-side* (centralized) computations used by tests and
+experiments to characterize workloads — they are not part of the
+distributed algorithm (which must learn such quantities via broadcasts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulator.network import BroadcastNetwork
+
+__all__ = ["GraphSummary", "summarize_graph", "edge_density", "degeneracy_order"]
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    n: int
+    m: int
+    delta: int
+    min_degree: int
+    avg_degree: float
+    density: float
+
+    def as_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "m": self.m,
+            "delta": self.delta,
+            "min_degree": self.min_degree,
+            "avg_degree": self.avg_degree,
+            "density": self.density,
+        }
+
+
+def summarize_graph(net: BroadcastNetwork) -> GraphSummary:
+    degrees = net.degrees
+    n, m = net.n, net.m
+    return GraphSummary(
+        n=n,
+        m=m,
+        delta=int(degrees.max()) if n else 0,
+        min_degree=int(degrees.min()) if n else 0,
+        avg_degree=float(degrees.mean()) if n else 0.0,
+        density=edge_density(n, m),
+    )
+
+
+def edge_density(n: int, m: int) -> float:
+    """m over the maximum possible number of edges."""
+    pairs = n * (n - 1) / 2
+    return float(m / pairs) if pairs else 0.0
+
+
+def degeneracy_order(net: BroadcastNetwork) -> np.ndarray:
+    """A degeneracy (smallest-last) ordering — used by the greedy baseline
+    to get good color counts, and as a reference ordering in tests."""
+    n = net.n
+    deg = net.degrees.copy()
+    removed = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    # Simple bucket queue.
+    buckets: list[set[int]] = [set() for _ in range(int(deg.max()) + 2 if n else 1)]
+    for v in range(n):
+        buckets[deg[v]].add(v)
+    cursor = 0
+    for i in range(n):
+        while cursor < len(buckets) and not buckets[cursor]:
+            cursor += 1
+        if cursor >= len(buckets):  # pragma: no cover - defensive
+            rest = np.flatnonzero(~removed)
+            order[i:] = rest
+            break
+        v = buckets[cursor].pop()
+        order[i] = v
+        removed[v] = True
+        for u in net.neighbors(v):
+            u = int(u)
+            if not removed[u]:
+                buckets[deg[u]].discard(u)
+                deg[u] -= 1
+                buckets[deg[u]].add(u)
+                if deg[u] < cursor:
+                    cursor = deg[u]
+    return order

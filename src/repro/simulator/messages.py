@@ -1,0 +1,95 @@
+"""Broadcast messages with explicit bit sizes.
+
+A BCONGEST broadcast is "one O(log n)-bit message to all neighbors".  The
+simulator represents it as a :class:`Broadcast`: an arbitrary payload plus
+the number of bits a real encoding would occupy, computed by the codecs in
+:mod:`repro.util.bitio`.  The network refuses messages over the bandwidth
+cap, so accidental use of large messages fails loudly instead of silently
+breaking the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.util.bitio import (
+    bitmap_bits,
+    bits_for_color,
+    bits_for_count,
+    bits_for_id,
+    bits_for_int,
+)
+
+__all__ = [
+    "Broadcast",
+    "color_message",
+    "id_message",
+    "bitmap_message",
+    "seed_message",
+    "count_message",
+    "label_list_message",
+    "tuple_message",
+]
+
+
+@dataclass(frozen=True)
+class Broadcast:
+    """One broadcast: ``payload`` delivered to every neighbor, ``bits`` of
+    bandwidth consumed, ``tag`` for tracing/debugging."""
+
+    payload: Any
+    bits: int
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("a broadcast costs at least 1 bit")
+
+
+def color_message(color: int, delta: int, tag: str = "color") -> Broadcast:
+    """A single color (or ⊥ encoded as -1) out of the palette [Δ+1]."""
+    return Broadcast(payload=int(color), bits=bits_for_color(delta), tag=tag)
+
+
+def id_message(node_id: int, n: int, tag: str = "id") -> Broadcast:
+    """A node identifier out of [n]."""
+    return Broadcast(payload=int(node_id), bits=bits_for_id(n), tag=tag)
+
+
+def bitmap_message(bitmap: Sequence[bool] | np.ndarray, tag: str = "bitmap") -> Broadcast:
+    """A bitmap message; bits == its length (Algorithm 2's subpalette maps)."""
+    arr = np.asarray(bitmap, dtype=bool)
+    return Broadcast(payload=arr, bits=bitmap_bits(arr.size), tag=tag)
+
+
+def seed_message(seed: int, seed_bits: int = 64, tag: str = "seed") -> Broadcast:
+    """A PRG seed — the representative-set trick costs one word."""
+    return Broadcast(payload=int(seed), bits=int(seed_bits), tag=tag)
+
+
+def count_message(value: int, max_value: int, tag: str = "count") -> Broadcast:
+    """A bounded counter (group sizes in Permute, |S_i| in prefix sums)."""
+    return Broadcast(payload=int(value), bits=bits_for_count(max_value), tag=tag)
+
+
+def label_list_message(
+    labels: Sequence[int], label_universe: int, tag: str = "labels"
+) -> Broadcast:
+    """A list of small labels (Relabel's candidate labels, Permute's
+    in-bucket permutations).  Bits = len · ceil(log2 universe)."""
+    bits = max(1, len(labels)) * bits_for_int(label_universe)
+    return Broadcast(payload=tuple(int(x) for x in labels), bits=bits, tag=tag)
+
+
+def tuple_message(fields: Iterable[tuple[Any, int]], tag: str = "tuple") -> Broadcast:
+    """A product message: ``fields`` is (value, bits) pairs; total bits is
+    the sum.  Used e.g. for Algorithm 5's (ID, t, t', r) tuples."""
+    values = []
+    total = 0
+    for value, bits in fields:
+        values.append(value)
+        total += int(bits)
+    return Broadcast(payload=tuple(values), bits=max(1, total), tag=tag)

@@ -1,0 +1,140 @@
+"""Round and bandwidth accounting.
+
+The observable quantities the paper bounds are (a) the number of
+synchronous rounds, per phase, and (b) the size in bits of each broadcast.
+:class:`RoundMetrics` collects both, whether rounds are executed message by
+message (clique-internal protocols) or as vectorized whole-graph steps with
+analytic bit costs (TryColor-style rounds).  ``report()`` produces the rows
+the experiment harness prints.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["RoundMetrics", "PhaseStats"]
+
+
+@dataclass
+class PhaseStats:
+    """Per-phase accumulators."""
+
+    rounds: int = 0
+    messages: int = 0
+    total_bits: int = 0
+    max_message_bits: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "total_bits": self.total_bits,
+            "max_message_bits": self.max_message_bits,
+        }
+
+
+class RoundMetrics:
+    """Collects rounds/messages/bits, grouped by phase name.
+
+    Phases nest by naming convention only ("sct/permute" etc.); the
+    aggregate across all phases is maintained under the key ``"total"``.
+    ``observers`` (callables taking ``(phase, num_messages)``) fire once
+    per recorded round — the trace recorder subscribes here.
+    """
+
+    def __init__(self) -> None:
+        self.phases: dict[str, PhaseStats] = defaultdict(PhaseStats)
+        self._current_phase = "unphased"
+        self.observers: list = []
+
+    def _notify(self, phase: str, num_messages: int) -> None:
+        for obs in self.observers:
+            obs(phase, num_messages)
+
+    # -- phase management -------------------------------------------------
+    def begin_phase(self, name: str) -> None:
+        self._current_phase = name
+
+    @property
+    def current_phase(self) -> str:
+        return self._current_phase
+
+    # -- recording --------------------------------------------------------
+    def add_round(self, message_bits: Iterable[int], phase: str | None = None) -> None:
+        """Record one synchronous round in which the given messages were
+        broadcast (one entry per broadcasting node)."""
+        name = phase or self._current_phase
+        stats = self.phases[name]
+        total = self.phases["total"]
+        stats.rounds += 1
+        total.rounds += 1
+        count = 0
+        for bits in message_bits:
+            b = int(bits)
+            count += 1
+            stats.messages += 1
+            stats.total_bits += b
+            stats.max_message_bits = max(stats.max_message_bits, b)
+            total.messages += 1
+            total.total_bits += b
+            total.max_message_bits = max(total.max_message_bits, b)
+        self._notify(name, count)
+
+    def add_uniform_round(
+        self, num_broadcasters: int, bits_per_message: int, phase: str | None = None
+    ) -> None:
+        """Record a vectorized round: ``num_broadcasters`` nodes each
+        broadcast a ``bits_per_message``-bit message."""
+        name = phase or self._current_phase
+        stats = self.phases[name]
+        total = self.phases["total"]
+        b = int(bits_per_message)
+        k = int(num_broadcasters)
+        for s in (stats, total):
+            s.rounds += 1
+            s.messages += k
+            s.total_bits += k * b
+            if k > 0:
+                s.max_message_bits = max(s.max_message_bits, b)
+        self._notify(name, k)
+
+    def add_silent_round(self, phase: str | None = None) -> None:
+        """A round in which no node broadcast (still costs a round)."""
+        self.add_uniform_round(0, 1, phase=phase)
+
+    # -- reading ----------------------------------------------------------
+    @property
+    def total_rounds(self) -> int:
+        return self.phases["total"].rounds
+
+    @property
+    def max_message_bits(self) -> int:
+        return self.phases["total"].max_message_bits
+
+    @property
+    def total_bits(self) -> int:
+        return self.phases["total"].total_bits
+
+    def rounds_in(self, phase: str) -> int:
+        return self.phases[phase].rounds if phase in self.phases else 0
+
+    def phase_names(self) -> list[str]:
+        return [k for k in self.phases.keys() if k != "total"]
+
+    def report(self) -> dict[str, dict]:
+        """Phase → stats dict, including "total"."""
+        return {name: stats.as_dict() for name, stats in self.phases.items()}
+
+    def merged_with(self, other: "RoundMetrics") -> "RoundMetrics":
+        """Combine two metric sets (used when composing pipelines)."""
+        out = RoundMetrics()
+        for src in (self, other):
+            for name, stats in src.phases.items():
+                dst = out.phases[name]
+                dst.rounds += stats.rounds
+                dst.messages += stats.messages
+                dst.total_bits += stats.total_bits
+                dst.max_message_bits = max(dst.max_message_bits, stats.max_message_bits)
+        return out

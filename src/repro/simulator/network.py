@@ -1,0 +1,238 @@
+"""The communication graph and the synchronous broadcast round engine.
+
+``BroadcastNetwork`` wraps the input graph in CSR form (``indptr`` /
+``indices``) and provides the two execution styles described in DESIGN.md:
+
+* :meth:`broadcast_round` — explicit message delivery: a dict of per-node
+  :class:`~repro.simulator.messages.Broadcast` objects in, a dict of
+  per-node inboxes out.  Used by the clique-internal protocols (Relabel,
+  Permute, CompressTry, LearnPalette) where the message content *is* the
+  protocol.
+* vectorized neighbor primitives (:meth:`neighbor_min`, edge arrays, ...)
+  used by whole-graph rounds (TryColor, slack generation, MultiTrial) whose
+  per-node messages are single colors/seeds; those rounds account bits
+  analytically via :meth:`RoundMetrics.add_uniform_round`.
+
+Both styles enforce the BCONGEST bandwidth cap: any message above
+``bandwidth_bits`` raises :class:`BandwidthExceeded`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.simulator.messages import Broadcast
+from repro.simulator.metrics import RoundMetrics
+
+__all__ = ["BroadcastNetwork", "BandwidthExceeded"]
+
+
+class BandwidthExceeded(RuntimeError):
+    """A broadcast exceeded the model's per-round bit budget."""
+
+
+def _edges_from_input(graph) -> tuple[int, np.ndarray]:
+    """Normalize the input into (n, undirected edge array of shape (m, 2)).
+
+    Accepts a networkx graph or an (n, edge-iterable) pair.
+    """
+    # networkx graph?
+    if hasattr(graph, "number_of_nodes") and hasattr(graph, "edges"):
+        nodes = list(graph.nodes())
+        n = len(nodes)
+        relabel = {v: i for i, v in enumerate(nodes)}
+        edges = np.array(
+            [(relabel[u], relabel[v]) for u, v in graph.edges() if u != v],
+            dtype=np.int64,
+        ).reshape(-1, 2)
+        return n, edges
+    # (n, edges) pair — fast path for numpy arrays (the generators' output).
+    n, edge_iter = graph
+    if isinstance(edge_iter, np.ndarray) and edge_iter.ndim == 2:
+        edges = edge_iter.astype(np.int64, copy=False)
+        edges = edges[edges[:, 0] != edges[:, 1]]
+    else:
+        edges = np.array(
+            [(int(u), int(v)) for u, v in edge_iter if u != v], dtype=np.int64
+        )
+        edges = edges.reshape(-1, 2)
+    if edges.size and (edges.min() < 0 or edges.max() >= n):
+        raise ValueError("edge endpoint out of range")
+    return int(n), edges
+
+
+class BroadcastNetwork:
+    """The n-node communication graph G = (V, E) plus the round engine.
+
+    Parameters
+    ----------
+    graph:
+        A ``networkx.Graph`` or an ``(n, edges)`` pair.  Self-loops are
+        dropped; parallel edges collapse.
+    bandwidth_bits:
+        The per-message bit budget (BCONGEST's O(log n)).  ``None`` disables
+        enforcement (useful for baselines run in LOCAL for comparison).
+    metrics:
+        Optional shared :class:`RoundMetrics`; a fresh one by default.
+    """
+
+    def __init__(
+        self,
+        graph,
+        bandwidth_bits: int | None = None,
+        metrics: RoundMetrics | None = None,
+    ) -> None:
+        n, edges = _edges_from_input(graph)
+        self.n = n
+        if edges.size:
+            # Deduplicate undirected edges.
+            lo = np.minimum(edges[:, 0], edges[:, 1])
+            hi = np.maximum(edges[:, 0], edges[:, 1])
+            und = np.unique(np.stack([lo, hi], axis=1), axis=0)
+        else:
+            und = edges
+        self.m = und.shape[0]
+        self._und_edges = und
+
+        # CSR over both directions.
+        if self.m:
+            src = np.concatenate([und[:, 0], und[:, 1]])
+            dst = np.concatenate([und[:, 1], und[:, 0]])
+        else:
+            src = np.empty(0, dtype=np.int64)
+            dst = np.empty(0, dtype=np.int64)
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        self.indices = dst
+        self.indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(self.indptr, src + 1, 1)
+        np.cumsum(self.indptr, out=self.indptr)
+        # Edge-source array aligned with ``indices``: indices[k] is a
+        # neighbor of edge_src[k].
+        self.edge_src = src
+
+        self.degrees = np.diff(self.indptr).astype(np.int64)
+        self.delta = int(self.degrees.max()) if n else 0
+        self.bandwidth_bits = bandwidth_bits
+        self.metrics = metrics if metrics is not None else RoundMetrics()
+        self._adj_sets: list[set[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Topology access
+    # ------------------------------------------------------------------
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbor ids of v as an array view (sorted)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        return int(self.degrees[v])
+
+    def adjacency_set(self, v: int) -> set[int]:
+        """Neighbor set of v (cached)."""
+        if self._adj_sets is None:
+            self._adj_sets = [set() for _ in range(self.n)]
+            for u in range(self.n):
+                self._adj_sets[u] = set(self.neighbors(u).tolist())
+        return self._adj_sets[v]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self.adjacency_set(u)
+
+    def undirected_edges(self) -> np.ndarray:
+        """(m, 2) array of unique undirected edges (u < v)."""
+        return self._und_edges
+
+    def subgraph_degrees(self, members: np.ndarray) -> np.ndarray:
+        """For each node, its number of neighbors inside ``members`` (bool
+        mask over V).  Vectorized over the CSR arrays."""
+        mask = np.asarray(members, dtype=bool)
+        inside = mask[self.indices].astype(np.int64)
+        out = np.zeros(self.n, dtype=np.int64)
+        np.add.at(out, self.edge_src, inside)
+        return out
+
+    # ------------------------------------------------------------------
+    # The round engine (message-level)
+    # ------------------------------------------------------------------
+    def _check_bandwidth(self, msg: Broadcast) -> None:
+        if self.bandwidth_bits is not None and msg.bits > self.bandwidth_bits:
+            raise BandwidthExceeded(
+                f"broadcast '{msg.tag}' is {msg.bits} bits; "
+                f"bandwidth cap is {self.bandwidth_bits} bits"
+            )
+
+    def broadcast_round(
+        self,
+        outgoing: Mapping[int, Broadcast],
+        phase: str | None = None,
+        restrict_to: Sequence[int] | None = None,
+    ) -> dict[int, list[tuple[int, Broadcast]]]:
+        """Execute one synchronous round.
+
+        ``outgoing`` maps node → its broadcast (nodes absent stay silent).
+        Returns node → list of (sender, message) over all its *broadcasting*
+        neighbors.  When ``restrict_to`` is given, only those nodes'
+        inboxes are materialized (a pure optimization — delivery semantics
+        are unchanged; every neighbor still "hears" the broadcast).
+        """
+        bits = []
+        for v, msg in outgoing.items():
+            if not 0 <= v < self.n:
+                raise ValueError(f"unknown sender {v}")
+            self._check_bandwidth(msg)
+            bits.append(msg.bits)
+        self.metrics.add_round(bits, phase=phase)
+
+        if restrict_to is None:
+            receivers: Iterable[int] = range(self.n)
+        else:
+            receivers = restrict_to
+        inboxes: dict[int, list[tuple[int, Broadcast]]] = {}
+        for v in receivers:
+            inbox = []
+            for u in self.neighbors(v):
+                u = int(u)
+                if u in outgoing:
+                    inbox.append((u, outgoing[u]))
+            inboxes[v] = inbox
+        return inboxes
+
+    # ------------------------------------------------------------------
+    # Vectorized collectives (whole-graph single-word rounds)
+    # ------------------------------------------------------------------
+    def account_vector_round(
+        self, num_broadcasters: int, bits_per_message: int, phase: str | None = None
+    ) -> None:
+        """Account one vectorized round (bits checked against the cap)."""
+        if self.bandwidth_bits is not None and bits_per_message > self.bandwidth_bits:
+            raise BandwidthExceeded(
+                f"vectorized round message of {bits_per_message} bits exceeds "
+                f"cap {self.bandwidth_bits}"
+            )
+        self.metrics.add_uniform_round(num_broadcasters, bits_per_message, phase=phase)
+
+    def neighbor_min(self, values: np.ndarray, default: float | int) -> np.ndarray:
+        """Per-node min over neighbor values (one broadcast round's worth of
+        information).  ``default`` fills isolated nodes."""
+        vals = np.asarray(values)
+        out = np.full(self.n, default, dtype=vals.dtype)
+        if self.indices.size:
+            gathered = vals[self.indices]
+            has = self.degrees > 0
+            mins = np.minimum.reduceat(gathered, self.indptr[:-1][has])
+            out[has] = mins
+        return out
+
+    def neighbor_sum(self, values: np.ndarray) -> np.ndarray:
+        """Per-node sum over neighbor values."""
+        vals = np.asarray(values)
+        out = np.zeros(self.n, dtype=vals.dtype if vals.dtype.kind == "f" else np.int64)
+        if self.indices.size:
+            np.add.at(out, self.edge_src, vals[self.indices])
+        return out
+
+    def neighbor_any(self, flags: np.ndarray) -> np.ndarray:
+        """Per-node OR over neighbor boolean flags."""
+        return self.neighbor_sum(np.asarray(flags, dtype=np.int64)) > 0

@@ -1,0 +1,71 @@
+"""Round-by-round execution traces.
+
+A :class:`TraceRecorder` subscribes to the metrics' round stream and
+snapshots progress (uncolored count) per synchronous round.  Traces power
+the per-phase progress plots of the experiment harness and give tests a
+way to assert dynamic invariants — e.g. that the uncolored count is
+non-increasing over the whole run (monotone colorings never release a
+node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    index: int  # global round index (0-based)
+    phase: str
+    uncolored: int
+    messages: int  # broadcasts in this round
+
+    def as_tuple(self) -> tuple:
+        return (self.index, self.phase, self.uncolored, self.messages)
+
+
+class TraceRecorder:
+    """Collects one :class:`TraceEvent` per round.
+
+    ``progress_probe`` is called at recording time and must return the
+    current number of uncolored nodes (the algorithm installs a closure
+    over its state).
+    """
+
+    def __init__(self, progress_probe: Callable[[], int]):
+        self._probe = progress_probe
+        self.events: list[TraceEvent] = []
+
+    def record(self, phase: str, messages: int) -> None:
+        self.events.append(
+            TraceEvent(
+                index=len(self.events),
+                phase=phase,
+                uncolored=int(self._probe()),
+                messages=int(messages),
+            )
+        )
+
+    # -- analysis helpers -------------------------------------------------
+    def uncolored_series(self) -> list[int]:
+        return [e.uncolored for e in self.events]
+
+    def phases_seen(self) -> list[str]:
+        out: list[str] = []
+        for e in self.events:
+            if not out or out[-1] != e.phase:
+                out.append(e.phase)
+        return out
+
+    def rounds_in_phase(self, phase: str) -> int:
+        return sum(1 for e in self.events if e.phase == phase)
+
+    def is_monotone(self) -> bool:
+        series = self.uncolored_series()
+        return all(b <= a for a, b in zip(series, series[1:]))
+
+    def as_rows(self) -> list[tuple]:
+        return [e.as_tuple() for e in self.events]

@@ -1,0 +1,20 @@
+"""Shared plain-Python test helpers (not fixtures)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulator.network import BroadcastNetwork
+
+
+def brute_force_proper(net: BroadcastNetwork, colors: np.ndarray) -> bool:
+    """O(m) reference propriety check used to cross-validate the library's
+    own verifiers."""
+    for u, v in net.undirected_edges():
+        if colors[u] >= 0 and colors[u] == colors[v]:
+            return False
+    return True
+
+
+def clique_leftover_count(colors: np.ndarray, members: np.ndarray) -> int:
+    return int((colors[members] < 0).sum())

@@ -1,0 +1,171 @@
+"""Tests for the ε-almost-clique decomposition (Definition 2.2, Lemma 2.5)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ColoringConfig
+from repro.decomposition.acd import (
+    SPARSE,
+    AlmostCliqueDecomposition,
+    decompose_distributed,
+    decompose_exact,
+)
+from repro.decomposition.minhash import compute_sketches, estimate_edge_similarity
+from repro.decomposition.validation import validate_decomposition
+from repro.graphs.generators import complete_graph, gnp_graph, planted_acd_graph, ring_graph
+from repro.simulator.network import BroadcastNetwork
+
+
+@pytest.fixture
+def cfg():
+    return ColoringConfig.practical()
+
+
+def planted(cfg, num=4, size=40, sparse=40, seed=7):
+    g = planted_acd_graph(num, size, cfg.eps, sparse_nodes=sparse, seed=seed)
+    return BroadcastNetwork(g, bandwidth_bits=cfg.bandwidth_bits(g[0]))
+
+
+class TestExactDecomposition:
+    def test_recovers_planted_cliques(self, cfg):
+        net = planted(cfg)
+        acd = decompose_exact(net, cfg)
+        assert acd.num_cliques == 4
+        # Ground truth: blocks of 40.
+        for c in range(4):
+            members = acd.members(c)
+            assert np.unique(members // 40).size == 1
+
+    def test_sparse_periphery_stays_sparse(self, cfg):
+        net = planted(cfg)
+        acd = decompose_exact(net, cfg)
+        assert (acd.labels[160:] == SPARSE).all()
+
+    def test_validates(self, cfg):
+        net = planted(cfg)
+        report = validate_decomposition(net, decompose_exact(net, cfg))
+        assert report.ok, report.details
+
+    def test_gnp_all_sparse(self, cfg):
+        net = BroadcastNetwork(gnp_graph(200, 0.05, seed=1))
+        acd = decompose_exact(net, cfg)
+        assert acd.num_cliques == 0
+        assert acd.sparse_nodes.size == 200
+
+    def test_single_clique(self, cfg):
+        net = BroadcastNetwork(complete_graph(30))
+        acd = decompose_exact(net, cfg)
+        assert acd.num_cliques == 1
+        assert acd.members(0).size == 30
+
+    def test_ring_all_sparse(self, cfg):
+        net = BroadcastNetwork(ring_graph(30))
+        acd = decompose_exact(net, cfg)
+        assert acd.num_cliques == 0
+
+    def test_empty_graph(self, cfg):
+        net = BroadcastNetwork((10, []))
+        acd = decompose_exact(net, cfg)
+        assert acd.num_cliques == 0
+        assert acd.sparse_nodes.size == 10
+
+
+class TestDistributedDecomposition:
+    def test_matches_exact_on_planted(self, cfg):
+        net = planted(cfg)
+        exact = decompose_exact(net, cfg)
+        dist = decompose_distributed(net, cfg)
+        # Same clustering up to clique relabeling.
+        assert dist.num_cliques == exact.num_cliques
+        for c in range(dist.num_cliques):
+            members = dist.members(c)
+            assert np.unique(exact.labels[members]).size == 1
+
+    def test_validates(self, cfg):
+        net = planted(cfg, seed=11)
+        report = validate_decomposition(net, decompose_distributed(net, cfg))
+        assert report.ok, report.details
+
+    def test_rounds_accounted(self, cfg):
+        net = planted(cfg)
+        acd = decompose_distributed(net, cfg)
+        assert acd.rounds_used > 0
+        assert net.metrics.rounds_in("acd/sketch") > 0
+
+    def test_bandwidth_respected(self, cfg):
+        net = planted(cfg)
+        decompose_distributed(net, cfg)
+        assert net.metrics.max_message_bits <= net.bandwidth_bits
+
+    def test_deterministic_given_seed(self, cfg):
+        net1 = planted(cfg)
+        net2 = planted(cfg)
+        a = decompose_distributed(net1, cfg)
+        b = decompose_distributed(net2, cfg)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestSimilaritySketches:
+    def test_estimates_close_to_truth_in_clique(self, cfg):
+        net = BroadcastNetwork(
+            complete_graph(20), bandwidth_bits=cfg.bandwidth_bits(20)
+        )
+        sk = compute_sketches(net, 256, 2, salt=1)
+        est = estimate_edge_similarity(net, sk)
+        # True closed-neighborhood Jaccard = 1 inside a clique.
+        assert est.min() > 0.9
+
+    def test_low_similarity_across_sparse_graph(self, cfg):
+        net = BroadcastNetwork(ring_graph(40), bandwidth_bits=cfg.bandwidth_bits(40))
+        sk = compute_sketches(net, 256, 2, salt=2)
+        est = estimate_edge_similarity(net, sk)
+        # Ring edges share 0 of 5 closed-union nodes → Jaccard 2/4 = 0.5.
+        assert est.mean() < 0.75
+
+    def test_round_count_scales_with_samples(self, cfg):
+        net = BroadcastNetwork(ring_graph(16), bandwidth_bits=32)
+        sk = compute_sketches(net, 64, 2, salt=0)
+        # 32 bits/round at 2 bits/sample → 16 samples per round → 4 rounds.
+        assert sk.rounds_used == 4
+
+
+class TestDecompositionObject:
+    def test_members_and_cache_invalidation(self):
+        labels = np.array([0, 0, SPARSE, 1])
+        acd = AlmostCliqueDecomposition(labels=labels, eps=0.1)
+        assert acd.num_cliques == 2
+        assert acd.members(0).tolist() == [0, 1]
+        assert acd.sparse_nodes.tolist() == [2]
+        acd.labels[2] = 1
+        acd.invalidate_cache()
+        assert acd.members(1).tolist() == [2, 3]
+
+    def test_empty_labels(self):
+        acd = AlmostCliqueDecomposition(labels=np.full(3, SPARSE), eps=0.1)
+        assert acd.num_cliques == 0
+        assert acd.cliques == []
+
+
+class TestValidator:
+    def test_flags_oversized_clique(self, cfg):
+        # Claim a huge "clique" over a sparse gnp graph: must fail 2a/2b.
+        net = BroadcastNetwork(gnp_graph(50, 0.1, seed=0))
+        labels = np.zeros(50, dtype=np.int64)
+        acd = AlmostCliqueDecomposition(labels=labels, eps=cfg.eps)
+        report = validate_decomposition(net, acd, check_sparsity=False)
+        assert not report.ok
+        assert report.violations_member_degree > 0
+
+    def test_flags_nonsparse_eviction(self, cfg):
+        # Mark clique members sparse: property (1) must flag them.
+        net = BroadcastNetwork(complete_graph(20))
+        acd = AlmostCliqueDecomposition(labels=np.full(20, SPARSE), eps=cfg.eps)
+        report = validate_decomposition(net, acd)
+        assert report.violations_sparsity == 20
+
+    def test_ok_report_dict(self, cfg):
+        net = planted(cfg)
+        report = validate_decomposition(net, decompose_exact(net, cfg))
+        d = report.as_dict()
+        assert d["ok"] is True
+        assert d["num_cliques"] == 4

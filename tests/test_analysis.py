@@ -1,0 +1,118 @@
+"""Tests for the analysis helpers (verify, fitting, stats)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import CANDIDATE_SHAPES, growth_fit
+from repro.analysis.stats import SweepResult, run_seeds, success_rate, summarize
+from repro.analysis.verify import (
+    assert_proper_coloring,
+    coloring_summary,
+    verify_coloring,
+)
+from repro.graphs.generators import complete_graph, ring_graph
+from repro.simulator.network import BroadcastNetwork
+
+
+class TestVerify:
+    def test_proper_coloring_passes(self):
+        net = BroadcastNetwork(ring_graph(6))
+        colors = np.array([0, 1, 0, 1, 0, 1])
+        audit = verify_coloring(net, colors)
+        assert audit["proper"] and audit["complete"]
+        assert audit["colors_used"] == 2
+
+    def test_monochromatic_edge_detected(self):
+        net = BroadcastNetwork((2, [(0, 1)]))
+        audit = verify_coloring(net, np.array([3, 3]), num_colors=5)
+        assert not audit["proper"]
+        assert audit["monochromatic_edges"] == 1
+
+    def test_incomplete_detected(self):
+        net = BroadcastNetwork((3, [(0, 1)]))
+        audit = verify_coloring(net, np.array([0, 1, -1]))
+        assert audit["proper"] and not audit["complete"]
+
+    def test_palette_bound_checked(self):
+        net = BroadcastNetwork((2, [(0, 1)]))
+        audit = verify_coloring(net, np.array([0, 5]), num_colors=3)
+        assert not audit["within_palette"]
+
+    def test_assert_raises_on_bad(self):
+        net = BroadcastNetwork((2, [(0, 1)]))
+        with pytest.raises(AssertionError):
+            assert_proper_coloring(net, np.array([1, 1]))
+
+    def test_wrong_length_raises(self):
+        net = BroadcastNetwork((3, []))
+        with pytest.raises(ValueError):
+            verify_coloring(net, np.array([0]))
+
+    def test_summary_has_context(self):
+        net = BroadcastNetwork(complete_graph(4))
+        s = coloring_summary(net, np.array([0, 1, 2, 3]))
+        assert s["delta_plus_one"] == 4
+        assert s["n"] == 4
+
+
+class TestGrowthFit:
+    NS = [2**k for k in range(8, 17)]
+
+    def test_recovers_log(self):
+        vals = [4 * math.log2(n) + 2 for n in self.NS]
+        assert growth_fit(self.NS, vals).best == "log n"
+
+    def test_recovers_constant(self):
+        assert growth_fit(self.NS, [7.0] * len(self.NS)).best == "constant"
+
+    def test_recovers_loglog(self):
+        vals = [10 * math.log2(math.log2(n)) for n in self.NS]
+        fit = growth_fit(self.NS, vals)
+        assert fit.best in ("log log n", "log^3 log n")  # close shapes
+
+    def test_log_beats_flat_for_growing_data(self):
+        vals = [math.log2(n) for n in self.NS]
+        fit = growth_fit(self.NS, vals)
+        assert fit.rmse["log n"] < fit.rmse["constant"]
+
+    def test_noise_tolerance(self):
+        rng = np.random.default_rng(1)
+        vals = [3 * math.log2(n) + rng.normal(0, 0.3) for n in self.NS]
+        assert growth_fit(self.NS, vals).best == "log n"
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            growth_fit([10], [1.0])
+
+    def test_all_candidate_shapes_evaluated(self):
+        fit = growth_fit(self.NS, [1.0] * len(self.NS))
+        assert set(fit.rmse) == set(CANDIDATE_SHAPES)
+
+
+class TestStats:
+    def test_sweep_result_stats(self):
+        s = SweepResult(values=[1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.min == 1.0 and s.max == 3.0
+        assert s.quantile(0.5) == 2.0
+
+    def test_empty_sweep_nan(self):
+        assert math.isnan(SweepResult().mean)
+
+    def test_run_seeds(self):
+        out = run_seeds(lambda s: float(s * s), range(4))
+        assert out.values == [0.0, 1.0, 4.0, 9.0]
+
+    def test_success_rate(self):
+        assert success_rate(lambda s: s % 2 == 0, range(10)) == 0.5
+
+    def test_success_rate_empty(self):
+        assert math.isnan(success_rate(lambda s: True, []))
+
+    def test_summarize(self):
+        rows = [{"a": 1.0, "b": 2.0}, {"a": 3.0}]
+        out = summarize(rows, ["a", "b"])
+        assert out["a"]["mean"] == 2.0
+        assert out["b"]["count"] == 1

@@ -1,0 +1,208 @@
+"""Tests for the BCStream model (§5): memory metering, streaming reduce,
+prefix sums, palette lookup, and the audited pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bcstream.memory import MemoryExceeded, MemoryMeter
+from repro.bcstream.palette_stream import streaming_palette_lookup
+from repro.bcstream.pipeline import bcstream_coloring
+from repro.bcstream.prefix_sums import streaming_prefix_sums
+from repro.bcstream.stream import default_size_of, stream_reduce
+from repro.config import ColoringConfig
+from repro.graphs.generators import clique_blob_graph, gnp_graph
+
+
+@pytest.fixture
+def cfg():
+    return ColoringConfig.practical()
+
+
+class TestMemoryMeter:
+    def test_alloc_and_peak(self):
+        m = MemoryMeter()
+        m.alloc(0, 5)
+        m.alloc(0, 3)
+        assert m.current[0] == 8
+        assert m.peak_of(0) == 8
+
+    def test_free_partial_and_full(self):
+        m = MemoryMeter()
+        m.alloc(1, 10)
+        m.free(1, 4)
+        assert m.current[1] == 6
+        m.free(1)
+        assert m.current[1] == 0
+        assert m.peak_of(1) == 10
+
+    def test_ceiling_enforced(self):
+        m = MemoryMeter(ceiling_words=8)
+        m.alloc(0, 8)
+        with pytest.raises(MemoryExceeded):
+            m.alloc(0, 1)
+
+    def test_touch_is_transient(self):
+        m = MemoryMeter()
+        m.touch(2, 7)
+        assert m.current[2] == 0
+        assert m.peak_of(2) == 7
+
+    def test_negative_alloc_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryMeter().alloc(0, -1)
+
+    def test_peak_words_across_nodes(self):
+        m = MemoryMeter()
+        m.touch(0, 3)
+        m.touch(1, 9)
+        assert m.peak_words() == 9
+
+
+class TestStreamReduce:
+    def test_sum_reduction(self):
+        m = MemoryMeter()
+        total = stream_reduce(0, range(10), 0, lambda acc, x: acc + x, m)
+        assert total == 45
+        assert m.peak_of(0) == 1
+
+    def test_buffering_trips_ceiling(self):
+        m = MemoryMeter(ceiling_words=5)
+        with pytest.raises(MemoryExceeded):
+            stream_reduce(0, range(100), [], lambda acc, x: acc + [x], m)
+
+    def test_bounded_state_passes_ceiling(self):
+        m = MemoryMeter(ceiling_words=5)
+        out = stream_reduce(0, range(100), 0, lambda acc, x: max(acc, x), m)
+        assert out == 99
+
+    def test_size_of_scalars_and_arrays(self):
+        assert default_size_of(3) == 1
+        assert default_size_of(None) == 0
+        assert default_size_of(np.zeros(10)) == 10
+        assert default_size_of(np.zeros(128, dtype=bool)) == 2  # packed bits
+
+    def test_size_of_containers(self):
+        assert default_size_of([1, 2, 3]) == 4
+        assert default_size_of({"a": 1}) == 3
+
+
+class TestPrefixSums:
+    def test_matches_cumsum(self, cfg):
+        vals = np.array([3, 1, 4, 1, 5, 9, 2, 6])
+        res = streaming_prefix_sums(vals, np.full(8, 16), cfg, n=1024)
+        expected = np.concatenate([[0], np.cumsum(vals)[:-1]])
+        assert np.array_equal(res.prefix, expected)
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_cumsum_property(self, values):
+        cfg = ColoringConfig.practical()
+        vals = np.array(values, dtype=np.int64)
+        res = streaming_prefix_sums(vals, np.full(vals.size, 20), cfg, n=4096)
+        expected = np.concatenate([[0], np.cumsum(vals)[:-1]])
+        assert np.array_equal(res.prefix, expected)
+
+    def test_iterations_loglog_scale(self, cfg):
+        # k groups need O(log log k) merge iterations.
+        for k, max_it in [(10, 2), (100, 3), (2000, 4)]:
+            res = streaming_prefix_sums(
+                np.ones(k, dtype=np.int64), np.full(k, 16), cfg, n=1 << 20
+            )
+            assert res.iterations <= max_it, k
+
+    def test_rounds_constant_per_iteration(self, cfg):
+        res = streaming_prefix_sums(
+            np.ones(500, dtype=np.int64), np.full(500, 16), cfg, n=1 << 16
+        )
+        assert res.rounds <= 1 + 4 * res.iterations
+
+    def test_memory_polylog(self, cfg):
+        n = 1 << 16
+        res = streaming_prefix_sums(
+            np.ones(1000, dtype=np.int64), np.full(1000, 16), cfg, n=n
+        )
+        # Stage-0 ranges of z0 = C log n values dominate.
+        assert res.peak_words <= 4 * np.log2(n) ** 2
+
+    def test_empty_input(self, cfg):
+        res = streaming_prefix_sums(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), cfg, n=100
+        )
+        assert res.prefix.size == 0
+        assert res.rounds == 0
+
+    def test_single_group(self, cfg):
+        res = streaming_prefix_sums(np.array([7]), np.array([10]), cfg, n=100)
+        assert res.prefix.tolist() == [0]
+
+    def test_levels_hierarchy_consistent(self, cfg):
+        vals = np.arange(50, dtype=np.int64)
+        res = streaming_prefix_sums(vals, np.full(50, 16), cfg, n=4096)
+        for level in res.levels:
+            # Totals match the underlying values on each segment.
+            for (s, e), tot in zip(level.boundaries, level.totals):
+                assert tot == vals[s:e].sum()
+        # Last level covers everything.
+        assert res.levels[-1].boundaries[0] == (0, 50) or len(res.levels[-1].boundaries) == 1
+
+
+class TestPaletteLookup:
+    def test_matches_direct_indexing(self, cfg):
+        rng = np.random.default_rng(0)
+        free = rng.random(200) < 0.4
+        direct = np.flatnonzero(free)
+        queries = np.arange(direct.size)
+        res = streaming_palette_lookup(free, queries, cfg, n=4096)
+        assert np.array_equal(res.colors, direct)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_masks_property(self, seed):
+        cfg = ColoringConfig.practical()
+        rng = np.random.default_rng(seed)
+        free = rng.random(64) < 0.5
+        direct = np.flatnonzero(free)
+        if direct.size == 0:
+            return
+        q = rng.integers(0, direct.size, size=5)
+        res = streaming_palette_lookup(free, q, cfg, n=1024)
+        assert np.array_equal(res.colors, direct[q])
+
+    def test_out_of_range_query(self, cfg):
+        free = np.array([True, False, True])
+        res = streaming_palette_lookup(free, np.array([5]), cfg, n=64)
+        assert res.colors.tolist() == [-1]
+
+    def test_memory_polylog(self, cfg):
+        n = 1 << 14
+        free = np.ones(4096, dtype=bool)
+        res = streaming_palette_lookup(free, np.array([4000]), cfg, n=n)
+        assert res.peak_words <= 4 * np.log2(n) ** 2
+
+
+class TestBCStreamPipeline:
+    def test_proper_complete_and_within_memory(self, cfg):
+        g = clique_blob_graph(3, 40, 30, 10, seed=1)
+        res = bcstream_coloring(g, cfg)
+        assert res.coloring.proper and res.coloring.complete
+        assert res.within_memory
+        assert res.peak_words <= res.memory_ceiling_words
+
+    def test_matches_bcongest_shape(self, cfg):
+        g = gnp_graph(200, 0.05, seed=2)
+        res = bcstream_coloring(g, cfg)
+        assert res.coloring.rounds_total > 0
+        assert res.coloring.max_message_bits <= cfg.bandwidth_bits(200)
+
+    def test_phase_audit_reported(self, cfg):
+        g = gnp_graph(100, 0.05, seed=3)
+        res = bcstream_coloring(g, cfg)
+        for phase in ("multitrial", "learn-palette", "prefix-sums"):
+            assert phase in res.phase_memory_words
+
+    def test_as_dict(self, cfg):
+        g = gnp_graph(80, 0.05, seed=4)
+        d = bcstream_coloring(g, cfg).as_dict()
+        assert "peak_words" in d and "within_memory" in d

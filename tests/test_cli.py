@@ -1,0 +1,93 @@
+"""Tests for the CLI (python -m repro ...)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main, make_graph
+from repro.simulator.network import BroadcastNetwork
+
+
+class TestMakeGraph:
+    @pytest.mark.parametrize(
+        "family", ["gnp", "blobs", "geometric", "hardmix", "planted"]
+    )
+    def test_families_produce_valid_graphs(self, family):
+        g = make_graph(family, 300, 24.0, seed=1)
+        net = BroadcastNetwork(g)
+        assert net.n >= 200
+        assert net.m > 0
+
+    def test_unknown_family_exits(self):
+        with pytest.raises(SystemExit):
+            make_graph("nope", 100, 10.0, 0)
+
+    def test_deterministic(self):
+        import numpy as np
+
+        a = make_graph("gnp", 200, 20.0, seed=3)[1]
+        b = make_graph("gnp", 200, 20.0, seed=3)[1]
+        assert np.array_equal(a, b)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_color_defaults(self):
+        args = build_parser().parse_args(["color"])
+        assert args.family == "gnp"
+        assert args.n == 2000
+
+    def test_sweep_args(self):
+        args = build_parser().parse_args(
+            ["sweep", "--min-exp", "8", "--max-exp", "9", "--seeds", "1"]
+        )
+        assert args.min_exp == 8 and args.max_exp == 9
+
+
+class TestCommands:
+    def test_color_runs_and_succeeds(self, capsys):
+        rc = main(["color", "--n", "300", "--avg-degree", "20", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rounds_total" in out
+
+    def test_color_json_output(self, capsys):
+        rc = main(["color", "--n", "200", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["proper"] and data["complete"]
+
+    def test_color_paper_constants(self, capsys):
+        rc = main(["color", "--n", "200", "--paper-constants", "--json"])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["complete"]
+
+    def test_compare(self, capsys):
+        rc = main(
+            ["compare", "--family", "blobs", "--n", "256", "--avg-degree", "32",
+             "--seeds", "2", "--json"]
+        )
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["runs"]) == 2
+        assert data["mean_johansson"] > 0
+
+    def test_decompose(self, capsys):
+        rc = main(["decompose", "--cliques", "3", "--size", "40", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["cliques_found"] == 3
+        assert data["validator"]["ok"]
+
+    def test_sweep(self, capsys):
+        rc = main(
+            ["sweep", "--family", "gnp", "--avg-degree", "16",
+             "--min-exp", "8", "--max-exp", "9", "--seeds", "1", "--json"]
+        )
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["rows"]) == 2
+        assert "fit_ours" in data

@@ -1,0 +1,147 @@
+"""Tests for clique bookkeeping (Definitions 2.3, 3.1, 3.3 and Eq. (5))."""
+
+import numpy as np
+import pytest
+
+from repro.config import ColoringConfig
+from repro.core.cliques import compute_clique_info
+from repro.decomposition.acd import SPARSE, AlmostCliqueDecomposition
+from repro.graphs.generators import clique_blob_graph, complete_graph
+from repro.simulator.network import BroadcastNetwork
+
+
+@pytest.fixture
+def cfg():
+    return ColoringConfig.practical()
+
+
+def make_acd(labels):
+    return AlmostCliqueDecomposition(labels=np.asarray(labels, dtype=np.int64), eps=0.1)
+
+
+class TestDegreeBookkeeping:
+    def test_pure_clique_zero_ev_av(self, cfg):
+        net = BroadcastNetwork(complete_graph(10))
+        info = compute_clique_info(net, make_acd([0] * 10), cfg)
+        assert (info.ev == 0).all()
+        assert (info.av == 0).all()
+
+    def test_external_degree_counted(self, cfg):
+        # Clique {0,1,2} + external node 3 attached to 0.
+        edges = [(0, 1), (0, 2), (1, 2), (0, 3)]
+        net = BroadcastNetwork((4, edges))
+        info = compute_clique_info(net, make_acd([0, 0, 0, SPARSE]), cfg)
+        assert info.ev[0] == 1
+        assert info.ev[1] == 0
+        assert info.av[0] == 0
+
+    def test_anti_degree_counted(self, cfg):
+        # "Clique" {0,1,2,3} missing edge (0,3).
+        edges = [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]
+        net = BroadcastNetwork((5, edges))
+        info = compute_clique_info(net, make_acd([0, 0, 0, 0, SPARSE]), cfg)
+        assert info.av[0] == 1
+        assert info.av[3] == 1
+        assert info.av[1] == 0
+
+    def test_averages(self, cfg):
+        edges = [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]
+        net = BroadcastNetwork((4, edges))
+        info = compute_clique_info(net, make_acd([0, 0, 0, 0]), cfg)
+        # a_v = [1, 0, 0, 1] → a_K = 0.5.
+        assert info.a_k[0] == pytest.approx(0.5)
+
+    def test_sparse_nodes_zeroed(self, cfg):
+        net = BroadcastNetwork(complete_graph(5))
+        info = compute_clique_info(net, make_acd([SPARSE] * 5), cfg)
+        assert info.num_cliques == 0
+        assert (info.x_node == 0).all()
+
+    def test_matches_bruteforce_on_blobs(self, cfg):
+        g = clique_blob_graph(3, 20, anti_edges_per_clique=15, external_edges_per_clique=8, seed=3)
+        net = BroadcastNetwork(g)
+        labels = np.arange(net.n) // 20
+        info = compute_clique_info(net, make_acd(labels), cfg)
+        for v in range(0, net.n, 7):
+            nbrs = net.neighbors(v)
+            inside = int((labels[nbrs] == labels[v]).sum())
+            assert info.ev[v] == net.degree(v) - inside
+            assert info.av[v] == 20 - 1 - inside
+
+
+class TestOutliers:
+    def test_no_outliers_in_uniform_clique(self, cfg):
+        net = BroadcastNetwork(complete_graph(10))
+        info = compute_clique_info(net, make_acd([0] * 10), cfg)
+        assert not info.outlier_mask.any()
+
+    def test_extreme_node_is_outlier(self):
+        cfg = ColoringConfig.practical(outlier_factor=3.0)
+        # Clique of 40 + node 0 with many external neighbors.
+        n_c = 40
+        edges = [(i, j) for i in range(n_c) for j in range(i + 1, n_c)]
+        extras = list(range(n_c, n_c + 12))
+        edges += [(0, u) for u in extras]
+        net = BroadcastNetwork((n_c + 12, edges))
+        labels = [0] * n_c + [SPARSE] * 12
+        info = compute_clique_info(net, make_acd(labels), cfg)
+        assert info.outlier_mask[0]
+        assert not info.outlier_mask[1]
+
+    def test_zero_average_flags_nobody(self, cfg):
+        net = BroadcastNetwork(complete_graph(8))
+        info = compute_clique_info(net, make_acd([0] * 8), cfg)
+        # e_K = a_K = 0 but nobody exceeds.
+        assert not info.outlier_mask.any()
+
+
+class TestClassification:
+    def test_full_clique(self, cfg):
+        # Pure clique: a_K = e_K = 0 < ℓ → full.
+        net = BroadcastNetwork(complete_graph(20))
+        info = compute_clique_info(net, make_acd([0] * 20), cfg)
+        assert info.kind[0] == "full"
+
+    def test_classify_via_config(self, cfg):
+        n = 4096
+        ell = cfg.ell(n)
+        assert cfg.classify_clique(n, 0.0, 0.0) == "full"
+        assert cfg.classify_clique(n, 1.0, ell * 3.0) == "open"
+        assert cfg.classify_clique(n, ell * 2.0, ell * 2.0) == "closed"
+
+    def test_x_values_follow_eq5(self, cfg):
+        n = 4096
+        ell = cfg.ell(n)
+        assert cfg.x_of_clique("full", n, 0, 0) == int(np.ceil(cfg.x_full_factor * ell))
+        assert cfg.x_of_clique("closed", n, 10.0, 0) == int(
+            np.ceil(cfg.x_closed_factor * 10.0)
+        )
+        assert cfg.x_of_clique("open", n, 0, 40.0) == int(
+            np.ceil(cfg.x_open_factor * 40.0)
+        )
+
+    def test_x_clamped_for_feasibility(self, cfg):
+        # Tiny clique: Eq. (5) would reserve more than Δ+1 colors.
+        net = BroadcastNetwork(complete_graph(6))
+        info = compute_clique_info(net, make_acd([0] * 6), cfg)
+        assert info.x_k[0] <= (net.delta + 1) // 4
+        assert info.x_clamped == 1
+
+    def test_x_node_mirrors_x_k(self, cfg):
+        net = BroadcastNetwork(complete_graph(30))
+        info = compute_clique_info(net, make_acd([0] * 30), cfg)
+        assert (info.x_node[:30] == info.x_k[0]).all()
+
+
+class TestRoundAccounting:
+    def test_aggregation_rounds_charged(self, cfg):
+        net = BroadcastNetwork(complete_graph(10))
+        compute_clique_info(net, make_acd([0] * 10), cfg)
+        assert net.metrics.rounds_in("setup/aggregate") == 3
+
+    def test_summary_shape(self, cfg):
+        net = BroadcastNetwork(complete_graph(10))
+        info = compute_clique_info(net, make_acd([0] * 10), cfg)
+        s = info.summary()
+        assert s["num_cliques"] == 1
+        assert s["kinds"]["full"] == 1

@@ -1,0 +1,94 @@
+"""Tests for ColoringConfig: presets, derived quantities, Eq. (3)/(5)."""
+
+import math
+
+import pytest
+
+from repro.config import ColoringConfig
+
+
+class TestPresets:
+    def test_practical_is_default_dataclass(self):
+        assert ColoringConfig.practical() == ColoringConfig()
+
+    def test_paper_constants(self):
+        cfg = ColoringConfig.paper()
+        assert cfg.eps == 1e-5
+        assert cfg.beta == 401.0
+        assert cfg.slack_probability == pytest.approx(1 / 200)
+        assert cfg.x_full_factor == 200.0
+        assert cfg.x_closed_factor == 400.0
+        assert cfg.putaside_factor == 201.0
+        assert cfg.permute_ac_eps == pytest.approx(1 / 12)
+
+    def test_overrides(self):
+        cfg = ColoringConfig.practical(eps=0.2, beta=5.0)
+        assert cfg.eps == 0.2 and cfg.beta == 5.0
+
+    def test_paper_overrides(self):
+        cfg = ColoringConfig.paper(eps=0.01)
+        assert cfg.eps == 0.01
+        assert cfg.beta == 401.0
+
+    def test_with_seed(self):
+        cfg = ColoringConfig.practical().with_seed(99)
+        assert cfg.seed == 99
+
+    def test_frozen(self):
+        cfg = ColoringConfig.practical()
+        with pytest.raises(Exception):
+            cfg.eps = 0.5
+
+
+class TestDerived:
+    def test_ell_formula(self):
+        cfg = ColoringConfig.practical(ell_factor=2.0, ell_exponent=1.1)
+        n = 1 << 10
+        assert cfg.ell(n) == math.ceil(2.0 * 10 ** 1.1)
+
+    def test_ell_minimum_one(self):
+        assert ColoringConfig.practical().ell(1) >= 1
+
+    def test_log_threshold(self):
+        cfg = ColoringConfig.practical(c_log=3.0)
+        assert cfg.log_threshold(1 << 8) == pytest.approx(24.0)
+
+    def test_putaside_size_scales_with_ell(self):
+        cfg = ColoringConfig.practical(putaside_factor=2.0)
+        n = 1 << 12
+        assert cfg.putaside_size(n) == math.ceil(2.0 * cfg.ell(n))
+
+    def test_bandwidth_bits(self):
+        cfg = ColoringConfig.practical(bandwidth_factor=16.0)
+        assert cfg.bandwidth_bits(1 << 10) == 160
+
+    def test_bandwidth_floor(self):
+        assert ColoringConfig.practical().bandwidth_bits(2) >= 8
+
+
+class TestClassification:
+    def test_full_requires_small_a_plus_e(self):
+        cfg = ColoringConfig.practical()
+        n = 1 << 12
+        ell = cfg.ell(n)
+        assert cfg.classify_clique(n, ell / 4, ell / 4) == "full"
+
+    def test_open_requires_dominant_e(self):
+        cfg = ColoringConfig.practical()
+        n = 1 << 12
+        ell = cfg.ell(n)
+        assert cfg.classify_clique(n, 1.0, 3.0 * ell) == "open"
+
+    def test_closed_otherwise(self):
+        cfg = ColoringConfig.practical()
+        n = 1 << 12
+        ell = cfg.ell(n)
+        assert cfg.classify_clique(n, 2.0 * ell, ell) == "closed"
+
+    def test_x_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            ColoringConfig.practical().x_of_clique("weird", 100, 1.0, 1.0)
+
+    def test_x_open_minimum_one(self):
+        cfg = ColoringConfig.practical()
+        assert cfg.x_of_clique("open", 100, 0.0, 0.0) >= 1

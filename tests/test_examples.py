@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; a broken example is a broken
+deliverable.  Each runs as a subprocess with small arguments.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "400", "20", "1")
+        assert "proper coloring : True" in out
+        assert "rounds" in out
+
+    def test_frequency_assignment(self):
+        out = run_example("frequency_assignment.py", "400", "0.08", "1")
+        assert "interference-free" in out
+        assert "broadcast (paper)" in out
+
+    def test_scaling_study(self):
+        out = run_example("scaling_study.py", "9", "1")
+        assert "shape fits" in out
+
+    def test_streaming_demo(self):
+        out = run_example("streaming_demo.py")
+        assert "peak working set" in out
+        assert "stream_reduce" in out
+
+    def test_decomposition_tour(self):
+        out = run_example("decomposition_tour.py", "1")
+        assert "pipeline walk-through" in out
+        assert "proper=True" in out

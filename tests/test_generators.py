@@ -1,0 +1,185 @@
+"""Tests for the workload generators (repro.graphs.generators)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    clique_blob_graph,
+    complete_graph,
+    empty_graph,
+    geometric_graph,
+    gnp_graph,
+    hard_mix_graph,
+    planted_acd_graph,
+    random_regular_graph,
+    ring_graph,
+    star_graph,
+)
+from repro.simulator.network import BroadcastNetwork
+
+
+class TestBasicShapes:
+    def test_empty_graph(self):
+        n, e = empty_graph(5)
+        assert n == 5 and e.shape == (0, 2)
+
+    def test_complete_graph(self):
+        n, e = complete_graph(6)
+        assert n == 6 and e.shape[0] == 15
+
+    def test_ring(self):
+        n, e = ring_graph(10)
+        net = BroadcastNetwork((n, e))
+        assert (net.degrees == 2).all()
+
+    def test_ring_tiny(self):
+        n, e = ring_graph(2)
+        assert e.shape[0] == 0
+
+    def test_star(self):
+        n, e = star_graph(7)
+        net = BroadcastNetwork((n, e))
+        assert net.degree(0) == 6
+        assert net.degree(3) == 1
+
+
+class TestGnp:
+    def test_determinism(self):
+        a = gnp_graph(50, 0.2, seed=1)[1]
+        b = gnp_graph(50, 0.2, seed=1)[1]
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_graph(self):
+        a = gnp_graph(50, 0.2, seed=1)[1]
+        b = gnp_graph(50, 0.2, seed=2)[1]
+        assert not np.array_equal(a, b)
+
+    def test_p_zero_empty(self):
+        assert gnp_graph(20, 0.0, seed=0)[1].shape[0] == 0
+
+    def test_p_one_complete(self):
+        n, e = gnp_graph(10, 1.0, seed=0)
+        assert e.shape[0] == 45
+
+    def test_edge_count_concentrates(self):
+        n, e = gnp_graph(200, 0.1, seed=3)
+        expected = 0.1 * 200 * 199 / 2
+        assert abs(e.shape[0] - expected) < 0.25 * expected
+
+    def test_large_n_blocked_path(self):
+        # Exercise the row-block sampling branch.
+        n, e = gnp_graph(4000, 0.001, seed=4)
+        assert n == 4000
+        assert e.shape[0] > 0
+        assert e.max() < 4000
+
+
+class TestRandomRegular:
+    def test_degree_bounded(self):
+        n, e = random_regular_graph(100, 6, seed=1)
+        net = BroadcastNetwork((n, e))
+        assert net.delta <= 6
+
+    def test_odd_product_fixed(self):
+        # n*d odd → generator bumps d.
+        n, e = random_regular_graph(5, 3, seed=0)
+        assert n == 5
+
+    def test_d_too_large_raises(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(4, 5, seed=0)
+
+
+class TestCliqueBlobs:
+    def test_sizes(self):
+        n, e = clique_blob_graph(3, 10, seed=0)
+        assert n == 30
+
+    def test_pure_cliques(self):
+        n, e = clique_blob_graph(2, 5, 0, 0, seed=0)
+        net = BroadcastNetwork((n, e))
+        # Each node sees exactly its 4 clique-mates.
+        assert (net.degrees == 4).all()
+
+    def test_anti_edges_removed(self):
+        full = clique_blob_graph(1, 10, 0, 0, seed=0)[1].shape[0]
+        holed = clique_blob_graph(1, 10, 5, 0, seed=0)[1].shape[0]
+        assert holed == full - 5
+
+    def test_external_edges_added(self):
+        n, e = clique_blob_graph(2, 6, 0, 3, seed=0)
+        inside = 2 * 15
+        assert e.shape[0] >= inside + 3
+
+    def test_determinism(self):
+        a = clique_blob_graph(2, 8, 3, 2, seed=5)[1]
+        b = clique_blob_graph(2, 8, 3, 2, seed=5)[1]
+        assert np.array_equal(a, b)
+
+
+class TestPlantedACD:
+    def test_ground_truth_block_structure(self):
+        eps = 0.1
+        n, e = planted_acd_graph(3, 30, eps, sparse_nodes=20, seed=1)
+        assert n == 3 * 30 + 20
+        net = BroadcastNetwork((n, e))
+        # Dense nodes have most neighbors in their own block.
+        for v in (0, 35, 70):
+            block = v // 30
+            nbrs = net.neighbors(v)
+            inside = ((nbrs >= block * 30) & (nbrs < (block + 1) * 30)).sum()
+            assert inside >= 0.8 * nbrs.size
+
+    def test_sparse_periphery_isolated_from_dense(self):
+        n, e = planted_acd_graph(2, 20, 0.1, sparse_nodes=30, seed=2)
+        dense_n = 40
+        cross = [(u, v) for u, v in e if (u < dense_n) != (v < dense_n)]
+        assert cross == []
+
+    def test_degree_discipline_for_2b(self):
+        # Internal degree of members must dominate (1-eps)*Δ.
+        eps = 0.1
+        n, e = planted_acd_graph(4, 50, eps, seed=3)
+        net = BroadcastNetwork((n, e))
+        threshold = (1 - eps) * net.delta
+        labels = np.arange(n) // 50
+        for v in range(0, n, 7):
+            nbrs = net.neighbors(v)
+            inside = (labels[nbrs] == labels[v]).sum()
+            assert inside >= threshold
+
+
+class TestGeometric:
+    def test_radius_respected(self):
+        n, e = geometric_graph(80, 0.2, seed=1)
+        assert n == 80
+        # Regenerate points to verify distances.
+        rng = np.random.default_rng(1)
+        pts = rng.random((80, 2))
+        for u, v in e:
+            d = np.hypot(*(pts[u] - pts[v]))
+            assert d <= 0.2 + 1e-9
+
+    def test_zero_radius_empty(self):
+        n, e = geometric_graph(30, 0.0, seed=1)
+        assert e.shape[0] == 0
+
+    def test_determinism(self):
+        a = geometric_graph(40, 0.15, seed=9)[1]
+        b = geometric_graph(40, 0.15, seed=9)[1]
+        assert np.array_equal(a, b)
+
+
+class TestHardMix:
+    def test_total_size(self):
+        n, e = hard_mix_graph(2, 10, 50, 0.05, 5, seed=0)
+        assert n == 20 + 50
+
+    def test_has_bridges(self):
+        n, e = hard_mix_graph(2, 10, 50, 0.05, 5, seed=0)
+        bridges = [(u, v) for u, v in e if (u < 20) != (v < 20)]
+        assert len(bridges) >= 1
+
+    def test_valid_edge_range(self):
+        n, e = hard_mix_graph(3, 8, 30, 0.1, 10, seed=2)
+        assert e.min() >= 0 and e.max() < n

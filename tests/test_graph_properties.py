@@ -1,0 +1,64 @@
+"""Tests for graph property audits (repro.graphs.properties)."""
+
+import numpy as np
+
+from repro.graphs.properties import (
+    GraphSummary,
+    degeneracy_order,
+    edge_density,
+    summarize_graph,
+)
+from repro.graphs.generators import complete_graph, gnp_graph, ring_graph, star_graph
+from repro.simulator.network import BroadcastNetwork
+
+
+class TestSummary:
+    def test_clique_summary(self):
+        net = BroadcastNetwork(complete_graph(5))
+        s = summarize_graph(net)
+        assert s.n == 5 and s.m == 10
+        assert s.delta == 4 and s.min_degree == 4
+        assert s.density == 1.0
+
+    def test_ring_summary(self):
+        s = summarize_graph(BroadcastNetwork(ring_graph(10)))
+        assert s.avg_degree == 2.0
+
+    def test_as_dict(self):
+        s = summarize_graph(BroadcastNetwork((3, [])))
+        d = s.as_dict()
+        assert d["m"] == 0 and d["density"] == 0.0
+
+    def test_edge_density_bounds(self):
+        assert edge_density(10, 45) == 1.0
+        assert edge_density(10, 0) == 0.0
+        assert edge_density(0, 0) == 0.0
+
+
+class TestDegeneracyOrder:
+    def test_is_permutation(self):
+        net = BroadcastNetwork(gnp_graph(50, 0.1, seed=1))
+        order = degeneracy_order(net)
+        assert np.array_equal(np.sort(order), np.arange(50))
+
+    def test_star_leaves_first(self):
+        net = BroadcastNetwork(star_graph(10))
+        order = degeneracy_order(net)
+        # The hub has the largest back-degree; it must come last or near it.
+        assert order[-1] == 0 or order[-2] == 0
+
+    def test_degeneracy_bound_on_ring(self):
+        # Ring degeneracy = 2: every prefix-removal step sees degree ≤ 2.
+        net = BroadcastNetwork(ring_graph(12))
+        order = degeneracy_order(net)
+        removed = set()
+        max_back = 0
+        for v in order:
+            back = sum(1 for u in net.neighbors(int(v)) if int(u) not in removed)
+            max_back = max(max_back, back)
+            removed.add(int(v))
+        assert max_back <= 2
+
+    def test_empty_graph(self):
+        net = BroadcastNetwork((4, []))
+        assert np.array_equal(np.sort(degeneracy_order(net)), np.arange(4))

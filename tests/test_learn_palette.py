@@ -1,0 +1,97 @@
+"""Tests for LearnPalette (Algorithm 2, Lemma 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ColoringConfig
+from repro.core.learn_palette import learn_palette
+from repro.core.state import ColoringState
+from repro.graphs.generators import clique_blob_graph, complete_graph
+from repro.simulator.network import BroadcastNetwork
+from repro.simulator.rng import SeedSequencer
+
+
+@pytest.fixture
+def cfg():
+    return ColoringConfig.practical()
+
+
+@pytest.fixture
+def seq():
+    return SeedSequencer(77)
+
+
+class TestLearnPalette:
+    def test_uncolored_clique_everything_free(self, cfg, seq):
+        net = BroadcastNetwork(complete_graph(20))
+        state = ColoringState(net)
+        know = learn_palette(state, np.arange(20), cfg, seq)
+        assert know.complete
+        assert know.true_free.all()
+        assert know.known_free.all()
+
+    def test_learns_used_colors_in_clique(self, cfg, seq):
+        net = BroadcastNetwork(complete_graph(20))
+        state = ColoringState(net)
+        state.adopt(np.array([0, 1, 2]), np.array([5, 7, 11]))
+        know = learn_palette(state, np.arange(20), cfg, seq)
+        assert know.complete
+        assert not know.true_free[5] and not know.true_free[7] and not know.true_free[11]
+        for row in range(20):
+            pal = know.learned_palette(row)
+            assert 5 not in pal and 7 not in pal and 11 not in pal
+
+    def test_never_overapproximates(self, cfg, seq):
+        # Learned-used ⊆ true-used, i.e. learned_free ⊇ true_free.
+        g = clique_blob_graph(1, 30, anti_edges_per_clique=60, seed=1)
+        net = BroadcastNetwork(g)
+        state = ColoringState(net)
+        state.adopt(np.array([3, 4]), np.array([0, 1]))
+        know = learn_palette(state, np.arange(30), cfg, seq)
+        assert (know.known_free | ~know.true_free[None, :]).all()
+
+    def test_incomplete_detected_with_anti_edges(self, cfg):
+        """With heavy anti-edges a member may miss a color whose holders are
+        all non-neighbors; completeness flag must notice when it happens.
+        This is a *can-happen* test: we only assert consistency between the
+        flag and the matrices, not that failure occurs."""
+        g = clique_blob_graph(1, 24, anti_edges_per_clique=120, seed=3)
+        net = BroadcastNetwork(g)
+        state = ColoringState(net)
+        members = np.arange(24)
+        colored = members[:8]
+        state.adopt(colored, np.arange(8))
+        know = learn_palette(state, members, cfg, SeedSequencer(3))
+        missed = (~know.known_free ^ ~know.true_free[None, :]).any(axis=1)
+        assert know.complete == (not missed.any())
+        assert know.incomplete_members == int(missed.sum())
+
+    def test_one_round_charged(self, cfg, seq):
+        net = BroadcastNetwork(complete_graph(10))
+        state = ColoringState(net)
+        learn_palette(state, np.arange(10), cfg, seq, phase="lp")
+        assert net.metrics.rounds_in("lp") == 1
+
+    def test_account_false_charges_nothing(self, cfg, seq):
+        net = BroadcastNetwork(complete_graph(10))
+        state = ColoringState(net)
+        learn_palette(state, np.arange(10), cfg, seq, phase="lp", account=False)
+        assert net.metrics.rounds_in("lp") == 0
+
+    def test_bitmap_fits_bandwidth(self, cfg):
+        n = 300
+        net = BroadcastNetwork(
+            complete_graph(n), bandwidth_bits=cfg.bandwidth_bits(n)
+        )
+        state = ColoringState(net)
+        learn_palette(state, np.arange(n), cfg, SeedSequencer(5), phase="lp")
+        assert net.metrics.max_message_bits <= net.bandwidth_bits
+
+    def test_members_own_neighbors_always_known(self, cfg, seq):
+        # Even without bitmaps, direct neighbors' colors are known.
+        net = BroadcastNetwork((3, [(0, 1), (1, 2), (0, 2)]))
+        state = ColoringState(net)
+        state.adopt(np.array([2]), np.array([1]))
+        know = learn_palette(state, np.arange(3), cfg, seq)
+        for row in range(3):
+            assert 1 not in know.learned_palette(row)

@@ -1,0 +1,65 @@
+"""Tests for message constructors and their bit costs."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.messages import (
+    Broadcast,
+    bitmap_message,
+    color_message,
+    count_message,
+    id_message,
+    label_list_message,
+    seed_message,
+    tuple_message,
+)
+
+
+class TestBroadcast:
+    def test_minimum_one_bit(self):
+        with pytest.raises(ValueError):
+            Broadcast(payload=None, bits=0)
+
+    def test_frozen(self):
+        msg = Broadcast(payload=1, bits=4)
+        with pytest.raises(Exception):
+            msg.bits = 8
+
+
+class TestConstructors:
+    def test_color_message_bits(self):
+        # Δ=14 → palette 15 + ⊥ → 4 bits.
+        assert color_message(3, delta=14).bits == 4
+
+    def test_color_message_payload(self):
+        assert color_message(7, delta=10).payload == 7
+
+    def test_id_message_bits(self):
+        assert id_message(5, n=1024).bits == 10
+
+    def test_bitmap_message_bits_equal_length(self):
+        bm = np.zeros(33, dtype=bool)
+        assert bitmap_message(bm).bits == 33
+
+    def test_bitmap_message_payload_is_bool(self):
+        msg = bitmap_message([1, 0, 1])
+        assert msg.payload.dtype == bool
+
+    def test_seed_message_default_64(self):
+        assert seed_message(123).bits == 64
+
+    def test_count_message(self):
+        assert count_message(5, max_value=7).bits == 3
+
+    def test_label_list_message(self):
+        msg = label_list_message([1, 2, 3], label_universe=16)
+        assert msg.bits == 3 * 4
+        assert msg.payload == (1, 2, 3)
+
+    def test_tuple_message_sums_bits(self):
+        msg = tuple_message([(1, 10), ("x", 6), (0, 1)])
+        assert msg.bits == 17
+        assert msg.payload == (1, "x", 0)
+
+    def test_tuple_message_empty_min_one(self):
+        assert tuple_message([]).bits == 1

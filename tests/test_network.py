@@ -1,0 +1,183 @@
+"""Tests for the broadcast network substrate (repro.simulator.network)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.messages import Broadcast, color_message
+from repro.simulator.metrics import RoundMetrics
+from repro.simulator.network import BandwidthExceeded, BroadcastNetwork
+
+
+def edges_strategy(max_n=12):
+    return st.integers(min_value=2, max_value=max_n).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ),
+                max_size=30,
+            ),
+        )
+    )
+
+
+class TestConstruction:
+    def test_from_pair(self):
+        net = BroadcastNetwork((3, [(0, 1), (1, 2)]))
+        assert net.n == 3
+        assert net.m == 2
+        assert net.delta == 2
+
+    def test_from_networkx(self):
+        import networkx as nx
+
+        g = nx.path_graph(5)
+        net = BroadcastNetwork(g)
+        assert net.n == 5
+        assert net.m == 4
+
+    def test_self_loops_dropped(self):
+        net = BroadcastNetwork((3, [(0, 0), (0, 1)]))
+        assert net.m == 1
+
+    def test_parallel_edges_collapse(self):
+        net = BroadcastNetwork((3, [(0, 1), (1, 0), (0, 1)]))
+        assert net.m == 1
+
+    def test_out_of_range_edge_raises(self):
+        with pytest.raises(ValueError):
+            BroadcastNetwork((2, [(0, 5)]))
+
+    def test_empty_graph(self):
+        net = BroadcastNetwork((4, []))
+        assert net.m == 0
+        assert net.delta == 0
+        assert net.neighbors(0).size == 0
+
+    def test_degrees_and_neighbors_consistent(self):
+        net = BroadcastNetwork((4, [(0, 1), (0, 2), (0, 3)]))
+        assert net.degree(0) == 3
+        assert sorted(net.neighbors(0).tolist()) == [1, 2, 3]
+        assert net.degree(1) == 1
+
+    def test_adjacency_set_and_has_edge(self):
+        net = BroadcastNetwork((4, [(0, 1), (2, 3)]))
+        assert net.has_edge(0, 1) and net.has_edge(1, 0)
+        assert not net.has_edge(0, 2)
+        assert net.adjacency_set(2) == {3}
+
+    @given(edges_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_csr_symmetry(self, graph):
+        net = BroadcastNetwork(graph)
+        for v in range(net.n):
+            for u in net.neighbors(v):
+                assert v in net.neighbors(int(u))
+
+
+class TestSubgraphDegrees:
+    def test_all_members(self):
+        net = BroadcastNetwork((3, [(0, 1), (1, 2), (0, 2)]))
+        mask = np.ones(3, dtype=bool)
+        assert net.subgraph_degrees(mask).tolist() == [2, 2, 2]
+
+    def test_partial_members(self):
+        net = BroadcastNetwork((3, [(0, 1), (1, 2), (0, 2)]))
+        mask = np.array([True, False, True])
+        assert net.subgraph_degrees(mask).tolist() == [1, 2, 1]
+
+    def test_no_members(self):
+        net = BroadcastNetwork((3, [(0, 1)]))
+        assert net.subgraph_degrees(np.zeros(3, dtype=bool)).sum() == 0
+
+
+class TestBroadcastRound:
+    def test_delivery_to_neighbors_only(self):
+        net = BroadcastNetwork((3, [(0, 1)]))
+        inboxes = net.broadcast_round({0: color_message(1, 4)})
+        assert len(inboxes[1]) == 1
+        assert inboxes[1][0][0] == 0
+        assert inboxes[2] == []
+
+    def test_silent_nodes_receive(self):
+        net = BroadcastNetwork((2, [(0, 1)]))
+        inboxes = net.broadcast_round({0: color_message(0, 4)})
+        assert inboxes[0] == []  # sender hears nothing (no broadcasting nbr)
+        assert len(inboxes[1]) == 1
+
+    def test_restrict_to(self):
+        net = BroadcastNetwork((3, [(0, 1), (0, 2)]))
+        inboxes = net.broadcast_round({0: color_message(0, 4)}, restrict_to=[1])
+        assert set(inboxes.keys()) == {1}
+
+    def test_rounds_counted(self):
+        net = BroadcastNetwork((2, [(0, 1)]))
+        net.broadcast_round({0: color_message(0, 4)})
+        net.broadcast_round({1: color_message(1, 4)})
+        assert net.metrics.total_rounds == 2
+
+    def test_bandwidth_enforced(self):
+        net = BroadcastNetwork((2, [(0, 1)]), bandwidth_bits=8)
+        with pytest.raises(BandwidthExceeded):
+            net.broadcast_round({0: Broadcast(payload=0, bits=9)})
+
+    def test_bandwidth_ok_at_cap(self):
+        net = BroadcastNetwork((2, [(0, 1)]), bandwidth_bits=8)
+        net.broadcast_round({0: Broadcast(payload=0, bits=8)})
+        assert net.metrics.max_message_bits == 8
+
+    def test_unknown_sender_raises(self):
+        net = BroadcastNetwork((2, [(0, 1)]))
+        with pytest.raises(ValueError):
+            net.broadcast_round({5: color_message(0, 4)})
+
+    def test_vector_round_bandwidth_enforced(self):
+        net = BroadcastNetwork((2, [(0, 1)]), bandwidth_bits=8)
+        with pytest.raises(BandwidthExceeded):
+            net.account_vector_round(1, 9)
+
+
+class TestVectorCollectives:
+    def test_neighbor_min(self):
+        net = BroadcastNetwork((3, [(0, 1), (1, 2)]))
+        vals = np.array([5, 3, 9])
+        out = net.neighbor_min(vals, default=99)
+        assert out.tolist() == [3, 5, 3]
+
+    def test_neighbor_min_isolated_default(self):
+        net = BroadcastNetwork((3, [(0, 1)]))
+        out = net.neighbor_min(np.array([1, 2, 3]), default=-7)
+        assert out[2] == -7
+
+    def test_neighbor_sum(self):
+        net = BroadcastNetwork((3, [(0, 1), (1, 2), (0, 2)]))
+        out = net.neighbor_sum(np.array([1, 2, 4]))
+        assert out.tolist() == [6, 5, 3]
+
+    def test_neighbor_any(self):
+        net = BroadcastNetwork((4, [(0, 1), (2, 3)]))
+        flags = np.array([True, False, False, False])
+        out = net.neighbor_any(flags)
+        assert out.tolist() == [False, True, False, False]
+
+    @given(edges_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_neighbor_sum_matches_bruteforce(self, graph):
+        net = BroadcastNetwork(graph)
+        vals = np.arange(net.n, dtype=np.int64)
+        out = net.neighbor_sum(vals)
+        for v in range(net.n):
+            assert out[v] == sum(vals[u] for u in net.neighbors(v))
+
+
+class TestSharedMetrics:
+    def test_external_metrics_object(self):
+        metrics = RoundMetrics()
+        net = BroadcastNetwork((2, [(0, 1)]), metrics=metrics)
+        net.account_vector_round(2, 4, phase="p")
+        assert metrics.rounds_in("p") == 1
+        assert metrics.total_bits == 8

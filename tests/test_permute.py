@@ -1,0 +1,123 @@
+"""Tests for distributed permutation sampling (Algorithms 4–5, §4)."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.config import ColoringConfig
+from repro.core.permute import (
+    permute_constant,
+    permute_loglog,
+    sample_permutation,
+)
+from repro.graphs.generators import clique_blob_graph, complete_graph
+from repro.simulator.network import BroadcastNetwork
+from repro.simulator.rng import SeedSequencer
+
+
+@pytest.fixture
+def cfg():
+    return ColoringConfig.practical()
+
+
+@pytest.fixture
+def net(cfg):
+    n = 80
+    return BroadcastNetwork(complete_graph(n), bandwidth_bits=cfg.bandwidth_bits(n))
+
+
+@pytest.mark.parametrize("permute_fn", [permute_loglog, permute_constant])
+class TestBothAlgorithms:
+    def test_output_is_bijection(self, cfg, net, permute_fn):
+        members = np.arange(80)
+        subset = np.arange(0, 80, 2)
+        res = permute_fn(net, members, subset, cfg, SeedSequencer(1))
+        assert res.validate()
+        assert np.array_equal(np.sort(res.pi), np.arange(subset.size))
+
+    def test_subset_equals_members(self, cfg, net, permute_fn):
+        members = np.arange(80)
+        res = permute_fn(net, members, members, cfg, SeedSequencer(2))
+        assert res.validate()
+
+    def test_empty_subset(self, cfg, net, permute_fn):
+        res = permute_fn(net, np.arange(80), np.empty(0, dtype=np.int64), cfg, SeedSequencer(3))
+        assert res.pi.size == 0
+        assert res.rounds == 0
+
+    def test_singleton_subset(self, cfg, net, permute_fn):
+        res = permute_fn(net, np.arange(80), np.array([5]), cfg, SeedSequencer(4))
+        assert res.pi.tolist() == [0]
+
+    def test_deterministic(self, cfg, net, permute_fn):
+        members = np.arange(80)
+        subset = np.arange(40)
+        a = permute_fn(net, members, subset, cfg, SeedSequencer(7)).pi
+        b = permute_fn(net, members, subset, cfg, SeedSequencer(7)).pi
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_permutation(self, cfg, net, permute_fn):
+        members = np.arange(80)
+        subset = np.arange(40)
+        a = permute_fn(net, members, subset, cfg, SeedSequencer(8)).pi
+        b = permute_fn(net, members, subset, cfg, SeedSequencer(9)).pi
+        assert not np.array_equal(a, b)
+
+    def test_account_false_no_rounds(self, cfg, net, permute_fn):
+        members = np.arange(80)
+        permute_fn(
+            net, members, members[:30], cfg, SeedSequencer(5), phase="px", account=False
+        )
+        assert net.metrics.rounds_in("px") == 0
+
+    def test_rounds_positive_when_accounting(self, cfg, net, permute_fn):
+        members = np.arange(80)
+        res = permute_fn(net, members, members[:30], cfg, SeedSequencer(6), phase="py")
+        assert res.rounds > 0
+        assert net.metrics.rounds_in("py") > 0
+
+    def test_works_on_blob_clique(self, cfg, permute_fn):
+        g = clique_blob_graph(1, 60, anti_edges_per_clique=100, seed=2)
+        net = BroadcastNetwork(g, bandwidth_bits=cfg.bandwidth_bits(60))
+        members = np.arange(60)
+        res = permute_fn(net, members, members[5:55], cfg, SeedSequencer(10))
+        assert res.validate()
+
+
+class TestUniformity:
+    def test_positions_approximately_uniform(self, cfg, net):
+        """Lemma 4.4/4.5: each node's position is near-uniform.  Chi-square
+        over many samples for a fixed node's position."""
+        members = np.arange(80)
+        subset = np.arange(8)
+        counts = np.zeros(8, dtype=np.int64)
+        trials = 400
+        for s in range(trials):
+            res = sample_permutation(net, members, subset, cfg, SeedSequencer(s))
+            counts[res.pi[0]] += 1
+        _, p_value = scipy_stats.chisquare(counts)
+        assert p_value > 1e-4  # not obviously non-uniform
+
+    def test_all_permutations_reachable_small(self, cfg, net):
+        members = np.arange(80)
+        subset = np.arange(3)
+        seen = set()
+        for s in range(120):
+            res = sample_permutation(net, members, subset, cfg, SeedSequencer(s))
+            seen.add(tuple(res.pi.tolist()))
+        assert len(seen) == 6  # all 3! permutations occur
+
+
+class TestDispatch:
+    def test_dispatch_follows_config(self, net):
+        members = np.arange(80)
+        subset = np.arange(20)
+        cfg5 = ColoringConfig.practical(permute_constant_round=True)
+        cfg4 = ColoringConfig.practical(permute_constant_round=False)
+        r5 = sample_permutation(net, members, subset, cfg5, SeedSequencer(1))
+        r4 = sample_permutation(net, members, subset, cfg4, SeedSequencer(1))
+        assert r5.validate() and r4.validate()
+
+    def test_loglog_has_no_leftover_field_use(self, cfg, net):
+        res = permute_loglog(net, np.arange(80), np.arange(20), cfg, SeedSequencer(2))
+        assert res.leftover == 0

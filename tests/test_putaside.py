@@ -1,0 +1,160 @@
+"""Tests for put-aside sets (Lemma 3.4, Algorithm 6, Lemmas 3.10–3.13)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ColoringConfig
+from repro.core.cliques import compute_clique_info
+from repro.core.putaside import (
+    color_putaside_sets,
+    compress_try,
+    select_putaside_sets,
+)
+from repro.core.state import ColoringState
+from repro.decomposition.acd import AlmostCliqueDecomposition
+from repro.graphs.generators import clique_blob_graph
+from repro.simulator.network import BroadcastNetwork
+from repro.simulator.rng import SeedSequencer
+
+
+def full_blob_setup(num=3, size=40, ext=5, seed=0, **cfg_kw):
+    """Blobs dense enough that every clique classifies as *full*."""
+    cfg = ColoringConfig.practical(**cfg_kw)
+    g = clique_blob_graph(num, size, anti_edges_per_clique=4, external_edges_per_clique=ext, seed=seed)
+    net = BroadcastNetwork(g, bandwidth_bits=cfg.bandwidth_bits(g[0]))
+    labels = np.arange(net.n) // size
+    acd = AlmostCliqueDecomposition(labels=labels, eps=cfg.eps)
+    state = ColoringState(net)
+    info = compute_clique_info(net, acd, cfg, num_colors=state.num_colors)
+    return cfg, net, state, info
+
+
+class TestSelection:
+    def test_sets_are_inliers_of_full_cliques(self):
+        cfg, net, state, info = full_blob_setup()
+        aside, rep = select_putaside_sets(state, info, cfg, SeedSequencer(1))
+        assert rep.cliques_with_sets > 0
+        for c, nodes in aside.items():
+            assert info.kind[c] == "full"
+            assert (info.labels[nodes] == c).all()
+            assert not info.outlier_mask[nodes].any()
+
+    def test_no_edges_between_putaside_sets(self):
+        # The Lemma 3.4 invariant, checked exhaustively.
+        for seed in range(5):
+            cfg, net, state, info = full_blob_setup(ext=30, seed=seed)
+            aside, _ = select_putaside_sets(state, info, cfg, SeedSequencer(seed))
+            all_nodes = {}
+            for c, nodes in aside.items():
+                for v in nodes:
+                    all_nodes[int(v)] = c
+            for v, c in all_nodes.items():
+                for u in net.neighbors(v):
+                    u = int(u)
+                    if u in all_nodes and all_nodes[u] != c:
+                        pytest.fail(f"edge ({v},{u}) joins two put-aside sets")
+
+    def test_target_size_respected(self):
+        cfg, net, state, info = full_blob_setup()
+        aside, _ = select_putaside_sets(state, info, cfg, SeedSequencer(2))
+        target = cfg.putaside_size(net.n)
+        for nodes in aside.values():
+            assert nodes.size <= target
+
+    def test_rounds_charged(self):
+        cfg, net, state, info = full_blob_setup()
+        select_putaside_sets(state, info, cfg, SeedSequencer(3), phase="ps")
+        assert net.metrics.rounds_in("ps") == 2
+
+    def test_no_full_cliques_no_sets(self):
+        # Heavy anti-edges → closed cliques → no put-aside sets.
+        cfg = ColoringConfig.practical(c_log=0.2)
+        g = clique_blob_graph(2, 40, anti_edges_per_clique=300, seed=4)
+        net = BroadcastNetwork(g, bandwidth_bits=cfg.bandwidth_bits(g[0]))
+        labels = np.arange(net.n) // 40
+        acd = AlmostCliqueDecomposition(labels=labels, eps=cfg.eps)
+        state = ColoringState(net)
+        info = compute_clique_info(net, acd, cfg, num_colors=state.num_colors)
+        if "full" not in info.kind:
+            aside, rep = select_putaside_sets(state, info, cfg, SeedSequencer(4))
+            assert aside == {}
+
+
+class TestCompressTry:
+    def test_colors_are_from_lists_and_palettes(self):
+        cfg, net, state, info = full_blob_setup(seed=5)
+        members = info.members(0)
+        s_nodes = members[:6]
+        lists = {int(v): np.arange(state.num_colors, dtype=np.int64) for v in s_nodes}
+        nodes, colors = compress_try(state, s_nodes, lists, cfg, SeedSequencer(5))
+        for v, c in zip(nodes, colors):
+            assert c in lists[v]
+            assert c in state.palette(v)
+
+    def test_no_color_reuse_within_instance(self):
+        cfg, net, state, info = full_blob_setup(seed=6)
+        s_nodes = info.members(0)[:8]
+        lists = {int(v): np.arange(state.num_colors, dtype=np.int64) for v in s_nodes}
+        nodes, colors = compress_try(state, s_nodes, lists, cfg, SeedSequencer(6))
+        assert len(set(colors)) == len(colors)
+
+    def test_processes_in_id_order(self):
+        cfg, net, state, info = full_blob_setup(seed=7)
+        s_nodes = info.members(0)[:5]
+        lists = {int(v): np.array([0], dtype=np.int64) for v in s_nodes}
+        nodes, colors = compress_try(state, s_nodes, lists, cfg, SeedSequencer(7))
+        # Only the smallest-ID node can take the single shared color.
+        assert nodes == [int(np.min(s_nodes))]
+
+    def test_empty_lists_color_nothing(self):
+        cfg, net, state, info = full_blob_setup(seed=8)
+        s_nodes = info.members(0)[:4]
+        lists = {int(v): np.empty(0, dtype=np.int64) for v in s_nodes}
+        nodes, colors = compress_try(state, s_nodes, lists, cfg, SeedSequencer(8))
+        assert nodes == []
+
+    def test_nothing_adopted_by_compress_try_itself(self):
+        cfg, net, state, info = full_blob_setup(seed=9)
+        s_nodes = info.members(0)[:4]
+        lists = {int(v): np.arange(10, dtype=np.int64) for v in s_nodes}
+        compress_try(state, s_nodes, lists, cfg, SeedSequencer(9))
+        assert (state.colors < 0).all()
+
+
+class TestColoringPutAside:
+    def _run(self, seed, **cfg_kw):
+        cfg, net, state, info = full_blob_setup(seed=seed, **cfg_kw)
+        aside, _ = select_putaside_sets(state, info, cfg, SeedSequencer(seed))
+        # Color everything else greedily (simulating the rest of the pipeline).
+        aside_mask = np.zeros(net.n, dtype=bool)
+        for nodes in aside.values():
+            aside_mask[nodes] = True
+        for v in range(net.n):
+            if not aside_mask[v]:
+                pal = state.palette(v)
+                state.adopt(np.array([v]), np.array([pal[0]]))
+        rep = color_putaside_sets(state, info, aside, cfg, SeedSequencer(seed + 100))
+        return cfg, net, state, info, aside, rep
+
+    def test_colors_all_putaside_nodes(self):
+        cfg, net, state, info, aside, rep = self._run(seed=10)
+        assert state.is_complete()
+        state.verify()
+        assert rep.left_uncolored == 0
+
+    def test_works_across_seeds(self):
+        for seed in range(5):
+            _, _, state, _, _, rep = self._run(seed=20 + seed)
+            assert rep.left_uncolored == 0
+            state.verify()
+
+    def test_rounds_constant_scale(self):
+        cfg, net, state, info, aside, rep = self._run(seed=30)
+        assert rep.compress_rounds <= 8
+        assert rep.finish_rounds <= 4
+
+    def test_empty_putaside_noop(self):
+        cfg, net, state, info = full_blob_setup(seed=31)
+        rep = color_putaside_sets(state, info, {}, cfg, SeedSequencer(31))
+        assert rep.colored == 0
+        assert rep.left_uncolored == 0

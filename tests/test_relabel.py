@@ -1,0 +1,90 @@
+"""Tests for Relabel (Algorithm 3, Lemma 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ColoringConfig
+from repro.core.relabel import relabel
+from repro.graphs.generators import complete_graph
+from repro.simulator.network import BroadcastNetwork
+from repro.simulator.rng import SeedSequencer
+from repro.util.bitio import bits_for_int
+
+
+@pytest.fixture
+def cfg():
+    return ColoringConfig.practical()
+
+
+@pytest.fixture
+def net(cfg):
+    n = 64
+    return BroadcastNetwork(complete_graph(n), bandwidth_bits=cfg.bandwidth_bits(n))
+
+
+class TestRelabel:
+    def test_labels_unique(self, cfg, net):
+        nodes = np.arange(20)
+        rr = relabel(net, nodes, cfg, SeedSequencer(1))
+        assert np.unique(rr.labels).size == 20
+
+    def test_labels_in_universe(self, cfg, net):
+        nodes = np.arange(30)
+        rr = relabel(net, nodes, cfg, SeedSequencer(2))
+        assert rr.labels.min() >= 0
+        assert rr.labels.max() < rr.label_universe
+
+    def test_universe_is_s2_log_n(self, cfg, net):
+        nodes = np.arange(10)
+        rr = relabel(net, nodes, cfg, SeedSequencer(3))
+        assert rr.label_universe == int(10 * 10 * np.log2(net.n))
+
+    def test_label_bits_loglog_scale(self, cfg, net):
+        # For poly(log n)-sized S the labels are O(log log n)-bit: far
+        # smaller than full IDs.
+        nodes = np.arange(12)
+        rr = relabel(net, nodes, cfg, SeedSequencer(4))
+        assert rr.label_bits < bits_for_int(net.n) * 2
+        assert rr.label_bits == bits_for_int(rr.label_universe)
+
+    def test_success_whp(self, cfg, net):
+        successes = sum(
+            relabel(net, np.arange(16), cfg, SeedSequencer(s)).succeeded
+            for s in range(30)
+        )
+        assert successes == 30  # collision prob is ~1/log n per index, x tries
+
+    def test_empty_set(self, cfg, net):
+        rr = relabel(net, np.empty(0, dtype=np.int64), cfg, SeedSequencer(5))
+        assert rr.succeeded
+        assert rr.labels.size == 0
+        assert rr.rounds == 0
+
+    def test_singleton(self, cfg, net):
+        rr = relabel(net, np.array([3]), cfg, SeedSequencer(6))
+        assert rr.succeeded
+        assert rr.labels.size == 1
+
+    def test_rounds_charged(self, cfg, net):
+        relabel(net, np.arange(8), cfg, SeedSequencer(7), phase="rl")
+        assert net.metrics.rounds_in("rl") >= 2
+
+    def test_account_false(self, cfg, net):
+        relabel(net, np.arange(8), cfg, SeedSequencer(8), phase="rl2", account=False)
+        assert net.metrics.rounds_in("rl2") == 0
+
+    def test_fallback_labels_still_unique(self, net):
+        # Force the fallback by exhausting the candidate space: a universe
+        # this tiny cannot happen via the public API, so drive the internal
+        # path by monkeypatching the config to near-zero candidates.
+        cfg_tiny = ColoringConfig.practical(c_log=1e-9)
+        nodes = np.arange(10)
+        rr = relabel(net, nodes, cfg_tiny, SeedSequencer(9))
+        # x = 1 candidate; collisions possible but uniqueness guaranteed
+        # either way (success or fallback).
+        assert np.unique(rr.labels).size == nodes.size
+
+    def test_deterministic(self, cfg, net):
+        a = relabel(net, np.arange(15), cfg, SeedSequencer(10)).labels
+        b = relabel(net, np.arange(15), cfg, SeedSequencer(10)).labels
+        assert np.array_equal(a, b)

@@ -1,0 +1,35 @@
+"""Tests for the quick experiment reporter (repro.analysis.report)."""
+
+from repro.analysis.report import ExperimentReport, build_report
+from repro.config import ColoringConfig
+
+
+class TestBuildReport:
+    def test_quick_report_builds(self):
+        report = build_report(ns=[128, 256], seeds=[1])
+        assert "E1 round complexity (bench_round_complexity.py)" in report.sections
+        assert "E2 bandwidth (bench_bandwidth.py)" in report.sections
+        assert "E10 BCStream (bench_bcstream.py)" in report.sections
+
+    def test_bandwidth_section_compliant(self):
+        report = build_report(ns=[128, 256], seeds=[1])
+        assert report.sections["E2 bandwidth (bench_bandwidth.py)"]["compliant"]
+
+    def test_bcstream_section_within_memory(self):
+        report = build_report(ns=[128, 256], seeds=[1])
+        assert report.sections["E10 BCStream (bench_bcstream.py)"]["within memory"]
+
+    def test_markdown_rendering(self):
+        report = ExperimentReport(sections={"S": {"k": 1}})
+        md = report.to_markdown()
+        assert "## S" in md and "**k**: 1" in md
+
+    def test_fits_present_with_multiple_ns(self):
+        report = build_report(ns=[128, 256, 512], seeds=[1])
+        sec = report.sections["E1 round complexity (bench_round_complexity.py)"]
+        assert "fit ours" in sec and "fit johansson" in sec
+
+    def test_custom_config(self):
+        cfg = ColoringConfig.practical(multitrial_sampler="expander")
+        report = build_report(ns=[128, 256], seeds=[1], config=cfg)
+        assert report.sections

@@ -1,0 +1,106 @@
+"""Tests for slack generation (Lemma 2.12)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ColoringConfig
+from repro.core.slack import generate_slack
+from repro.core.state import ColoringState
+from repro.decomposition.sparsity import local_sparsity
+from repro.graphs.generators import gnp_graph, complete_graph
+from repro.simulator.network import BroadcastNetwork
+from repro.simulator.rng import SeedSequencer
+
+
+@pytest.fixture
+def cfg():
+    return ColoringConfig.practical()
+
+
+class TestGenerateSlack:
+    def test_one_round_charged(self, cfg):
+        net = BroadcastNetwork(gnp_graph(100, 0.1, seed=1))
+        state = ColoringState(net)
+        generate_slack(state, np.zeros(net.n, dtype=np.int64), cfg, SeedSequencer(0))
+        assert net.metrics.rounds_in("slack") == 1
+
+    def test_participation_rate(self, cfg):
+        net = BroadcastNetwork(gnp_graph(4000, 0.005, seed=2))
+        state = ColoringState(net)
+        rep = generate_slack(state, np.zeros(net.n, dtype=np.int64), cfg, SeedSequencer(1))
+        expected = cfg.slack_probability * net.n
+        assert abs(rep.participants - expected) < 4 * np.sqrt(expected) + 5
+
+    def test_reserved_prefix_untouched(self, cfg):
+        net = BroadcastNetwork(complete_graph(60))
+        state = ColoringState(net)
+        x = np.full(net.n, 20, dtype=np.int64)
+        cfg_hot = ColoringConfig.practical(slack_probability=1.0)
+        generate_slack(state, x, cfg_hot, SeedSequencer(3))
+        used = state.colors[state.colors >= 0]
+        assert used.size > 0
+        assert used.min() >= 20
+
+    def test_coloring_stays_proper(self, cfg):
+        net = BroadcastNetwork(gnp_graph(300, 0.05, seed=4))
+        state = ColoringState(net)
+        cfg_hot = ColoringConfig.practical(slack_probability=0.5)
+        generate_slack(state, np.zeros(net.n, dtype=np.int64), cfg_hot, SeedSequencer(4))
+        state.verify()
+
+    def test_colored_nodes_do_not_retry(self, cfg):
+        net = BroadcastNetwork(gnp_graph(100, 0.1, seed=5))
+        state = ColoringState(net)
+        state.adopt(np.array([0]), np.array([0]))
+        cfg_hot = ColoringConfig.practical(slack_probability=1.0)
+        rep = generate_slack(state, np.zeros(net.n, dtype=np.int64), cfg_hot, SeedSequencer(5))
+        assert rep.participants <= net.n - 1
+        assert state.colors[0] == 0
+
+    def test_report_dict(self, cfg):
+        net = BroadcastNetwork(gnp_graph(50, 0.1, seed=6))
+        state = ColoringState(net)
+        rep = generate_slack(state, np.zeros(net.n, dtype=np.int64), cfg, SeedSequencer(6))
+        d = rep.as_dict()
+        assert set(d) == {"participants", "colored"}
+        assert d["colored"] <= d["participants"]
+
+
+class TestSlackProportionalToSparsity:
+    def test_lemma_2_12_shape(self):
+        """Statistical check of Lemma 2.12: sparser nodes end with more
+        slack after slack generation (averaged over seeds)."""
+        # Graph with graded sparsity: one clique (zero-sparse) + a random
+        # sparse region with the same max degree.
+        import networkx as nx
+
+        clique_n = 30
+        edges = [(i, j) for i in range(clique_n) for j in range(i + 1, clique_n)]
+        rng = np.random.default_rng(0)
+        sparse_n = 200
+        for v in range(clique_n, clique_n + sparse_n):
+            targets = rng.choice(
+                np.arange(clique_n, clique_n + sparse_n), size=29, replace=False
+            )
+            for u in targets:
+                if u != v:
+                    edges.append((v, int(u)))
+        net = BroadcastNetwork((clique_n + sparse_n, edges))
+        zeta = local_sparsity(net)
+        assert zeta[:clique_n].mean() < zeta[clique_n:].mean()
+
+        cfg_hot = ColoringConfig.practical(slack_probability=0.2)
+        slack_gain_sparse = []
+        slack_gain_dense = []
+        for seed in range(5):
+            state = ColoringState(net)
+            base = state.slack()
+            generate_slack(
+                state, np.zeros(net.n, dtype=np.int64), cfg_hot, SeedSequencer(seed)
+            )
+            # Permanent slack for *uncolored* nodes.
+            gain = state.slack() - base
+            unc = state.colors < 0
+            slack_gain_dense.append(gain[: clique_n][unc[:clique_n]].mean())
+            slack_gain_sparse.append(gain[clique_n:][unc[clique_n:]].mean())
+        assert np.mean(slack_gain_sparse) > np.mean(slack_gain_dense)

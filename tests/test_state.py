@@ -1,0 +1,171 @@
+"""Tests for ColoringState: palettes, slack, adoption invariants (§2.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.state import ColoringState, ImproperColoring
+from repro.graphs.generators import complete_graph, gnp_graph
+from repro.simulator.network import BroadcastNetwork
+
+from tests.helpers import brute_force_proper
+
+
+class TestBasics:
+    def test_initially_uncolored(self, triangle_net):
+        state = ColoringState(triangle_net)
+        assert state.num_uncolored() == 3
+        assert not state.is_complete()
+        assert state.is_proper()  # vacuously
+
+    def test_num_colors_default_delta_plus_one(self, triangle_net):
+        assert ColoringState(triangle_net).num_colors == 3
+
+    def test_num_colors_override(self, triangle_net):
+        assert ColoringState(triangle_net, num_colors=10).num_colors == 10
+
+    def test_empty_graph_defaults(self):
+        state = ColoringState(BroadcastNetwork((3, [])))
+        assert state.num_colors == 1
+
+
+class TestAdopt:
+    def test_adopt_records_colors(self, path_net):
+        state = ColoringState(path_net)
+        state.adopt(np.array([0, 2]), np.array([1, 1]))
+        assert state.colors[0] == 1 and state.colors[2] == 1
+        assert state.num_uncolored() == 2
+
+    def test_monotonicity_enforced(self, path_net):
+        state = ColoringState(path_net)
+        state.adopt(np.array([0]), np.array([0]))
+        with pytest.raises(ImproperColoring):
+            state.adopt(np.array([0]), np.array([1]))
+
+    def test_rejects_conflict_with_colored_neighbor(self, path_net):
+        state = ColoringState(path_net)
+        state.adopt(np.array([0]), np.array([1]))
+        with pytest.raises(ImproperColoring):
+            state.adopt(np.array([1]), np.array([1]))
+
+    def test_rejects_conflict_within_batch(self, triangle_net):
+        state = ColoringState(triangle_net)
+        with pytest.raises(ImproperColoring):
+            state.adopt(np.array([0, 1]), np.array([2, 2]))
+
+    def test_rejects_out_of_range_color(self, triangle_net):
+        state = ColoringState(triangle_net)
+        with pytest.raises(ImproperColoring):
+            state.adopt(np.array([0]), np.array([3]))
+        with pytest.raises(ImproperColoring):
+            state.adopt(np.array([0]), np.array([-1]))
+
+    def test_rejects_duplicate_nodes(self, triangle_net):
+        state = ColoringState(triangle_net)
+        with pytest.raises(ImproperColoring):
+            state.adopt(np.array([0, 0]), np.array([0, 1]))
+
+    def test_batch_is_all_or_nothing(self, triangle_net):
+        state = ColoringState(triangle_net)
+        with pytest.raises(ImproperColoring):
+            state.adopt(np.array([0, 1]), np.array([0, 0]))
+        assert state.num_uncolored() == 3  # nothing applied
+
+    def test_empty_adopt_noop(self, triangle_net):
+        state = ColoringState(triangle_net)
+        state.adopt(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert state.num_uncolored() == 3
+
+    def test_length_mismatch(self, triangle_net):
+        state = ColoringState(triangle_net)
+        with pytest.raises(ValueError):
+            state.adopt(np.array([0]), np.array([0, 1]))
+
+    def test_nonadjacent_same_color_ok(self, path_net):
+        state = ColoringState(path_net)
+        state.adopt(np.array([0, 2]), np.array([0, 0]))
+        assert state.is_proper()
+
+
+class TestPalettes:
+    def test_palette_full_when_uncolored(self, triangle_net):
+        state = ColoringState(triangle_net)
+        assert state.palette(0).tolist() == [0, 1, 2]
+
+    def test_palette_shrinks(self, triangle_net):
+        state = ColoringState(triangle_net)
+        state.adopt(np.array([1]), np.array([2]))
+        assert state.palette(0).tolist() == [0, 1]
+
+    def test_palette_sizes_vectorized_matches(self, small_gnp_net):
+        state = ColoringState(small_gnp_net)
+        rng = np.random.default_rng(0)
+        # Color a random independent-ish set properly via greedy.
+        for v in range(0, small_gnp_net.n, 3):
+            pal = state.palette(v)
+            if pal.size:
+                state.adopt(np.array([v]), np.array([pal[0]]))
+        sizes = state.palette_sizes()
+        for v in range(small_gnp_net.n):
+            assert sizes[v] == state.palette(v).size
+
+    def test_neighbor_color_set(self, path_net):
+        state = ColoringState(path_net)
+        state.adopt(np.array([0, 2]), np.array([1, 2]))
+        assert state.neighbor_color_set(1) == {1, 2}
+        assert state.neighbor_color_set(3) == {2}
+
+
+class TestDegreesAndSlack:
+    def test_uncolored_degrees_initial(self, triangle_net):
+        state = ColoringState(triangle_net)
+        assert state.uncolored_degrees().tolist() == [2, 2, 2]
+
+    def test_uncolored_degrees_after_coloring(self, triangle_net):
+        state = ColoringState(triangle_net)
+        state.adopt(np.array([0]), np.array([0]))
+        assert state.uncolored_degrees().tolist() == [2, 1, 1]
+
+    def test_slack_definition(self, path_net):
+        state = ColoringState(path_net)
+        # path: Δ=2, palette 3 colors; d̂ = degree initially.
+        # slack(v) = |Ψ(v)| − d̂(v).
+        expected = [3 - 1, 3 - 2, 3 - 2, 3 - 1]
+        assert state.slack().tolist() == expected
+
+    def test_slack_grows_when_neighbors_share_color(self):
+        # star: center 0 with 4 leaves; leaves pairwise nonadjacent.
+        net = BroadcastNetwork((5, [(0, i) for i in range(1, 5)]))
+        state = ColoringState(net)
+        before = state.slack()[0]
+        state.adopt(np.array([1, 2]), np.array([0, 0]))  # same color twice
+        after = state.slack()[0]
+        # center lost 1 palette color but 2 uncolored neighbors.
+        assert after == before + 1
+
+
+class TestVerification:
+    def test_verify_passes_on_proper(self, triangle_net):
+        state = ColoringState(triangle_net)
+        state.adopt(np.array([0, 1, 2]), np.array([0, 1, 2]))
+        state.verify()
+        assert state.is_complete()
+        assert state.count_colors_used() == 3
+
+    def test_count_colors_empty(self, triangle_net):
+        assert ColoringState(triangle_net).count_colors_used() == 0
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_greedy_always_proper(self, seed):
+        net = BroadcastNetwork(gnp_graph(30, 0.2, seed=seed % 100))
+        state = ColoringState(net)
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(net.n)
+        for v in order:
+            pal = state.palette(int(v))
+            assert pal.size > 0  # Δ+1 colors always suffice greedily
+            state.adopt(np.array([v]), np.array([pal[0]]))
+        state.verify()
+        assert brute_force_proper(net, state.colors)
