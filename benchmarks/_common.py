@@ -3,15 +3,62 @@
 Every bench prints the measured rows (the "tables" of this theory paper's
 claims — see EXPERIMENTS.md for the claim-by-claim index) and uses
 pytest-benchmark to time one representative unit of work.
+
+Benches that sweep a (family, n, seed, algorithm) grid should go through
+:func:`run_matrix`, which routes the grid through :mod:`repro.runner` so
+trials shard over ``REPRO_BENCH_WORKERS`` processes and land in the shared
+``REPRO_BENCH_STORE`` result store — a second bench (or a `repro bench`
+invocation) touching the same cells reuses them instead of recomputing.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import os
+from typing import Iterable, Mapping, Sequence
 
-__all__ = ["print_table", "ratio", "GEOM_SEEDS"]
+from repro.runner import ParallelRunner, ResultStore, TrialSpec, expand_matrix
+
+__all__ = [
+    "print_table",
+    "ratio",
+    "run_matrix",
+    "matrix_payloads",
+    "GEOM_SEEDS",
+]
 
 GEOM_SEEDS = [101, 202, 303]
+
+
+def _bench_store() -> ResultStore | None:
+    path = os.environ.get("REPRO_BENCH_STORE", "")
+    return ResultStore(path) if path else None
+
+
+def run_matrix(
+    specs: Sequence[TrialSpec],
+    workers: int | None = None,
+    store: ResultStore | None = None,
+    timeout_s: float | None = None,
+):
+    """Run a spec list through the parallel runner with the bench-suite
+    defaults (``REPRO_BENCH_WORKERS`` processes, ``REPRO_BENCH_STORE``
+    result reuse).  Returns the :class:`repro.runner.RunReport`."""
+    if workers is None:
+        workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    if store is None:
+        store = _bench_store()
+    runner = ParallelRunner(workers=workers, store=store, timeout_s=timeout_s)
+    report = runner.run(specs)
+    failed = report.failed
+    if failed:  # not an assert: must survive python -O
+        raise RuntimeError(f"{len(failed)} trials failed; first: {failed[0].error}")
+    return report
+
+
+def matrix_payloads(matrix: Mapping, **kwargs) -> list[dict]:
+    """Expand a matrix dict (same schema as `repro bench` spec files) and
+    return the deterministic payload rows."""
+    return run_matrix(expand_matrix(matrix), **kwargs).payloads()
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:

@@ -17,12 +17,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from _common import print_table, ratio
+from _common import matrix_payloads, print_table, ratio
 from repro.analysis.fitting import growth_fit
 from repro.baselines.johansson import johansson_coloring
 from repro.config import ColoringConfig
 from repro.core.algorithm import BroadcastColoring
 from repro.graphs.generators import clique_blob_graph, gnp_graph
+from repro.runner import mean_by
 
 NS_BLOBS = [256, 512, 1024, 2048, 4096, 8192]
 CLIQUE_SIZE = 64
@@ -50,6 +51,33 @@ def run_baseline(graph, seed: int) -> int:
     res = johansson_coloring(graph, seed=seed)
     assert res.proper and res.complete
     return res.rounds
+
+
+@pytest.mark.benchmark(group="E1-round-complexity")
+def test_e1_quick_runner_matrix(benchmark):
+    """CI smoke: the smallest corner of the E1 grid, driven end-to-end
+    through the repro.runner matrix path the full campaigns use (the
+    large-n version lives in benchmarks/specs/round_complexity.toml)."""
+    matrix = {
+        "family": "blobs",
+        "n": [256, 512],
+        "avg_degree": 48,
+        "seed": SEEDS[:2],
+        "algorithm": ["broadcast", "johansson"],
+    }
+    payloads = benchmark.pedantic(
+        lambda: matrix_payloads(matrix), rounds=1, iterations=1
+    )
+    assert len(payloads) == 8 and all(p["proper"] for p in payloads)
+    means = mean_by(payloads, ["algorithm", "n"])
+    print_table(
+        "E1 quick (runner matrix): mean rounds",
+        ["algorithm", "n", "rounds"],
+        [(a, n, f"{v:.1f}") for (a, n), v in means.items()],
+    )
+    # Both sizes measured for both algorithms, and the baseline actually
+    # does work (≥ 1 round) — the shape claims need the full sweep.
+    assert all(v >= 1 for v in means.values())
 
 
 @pytest.mark.benchmark(group="E1-round-complexity")

@@ -4,10 +4,15 @@ writing Python.
     python -m repro color --family gnp --n 2000 --avg-degree 40
     python -m repro compare --family blobs --n 4096 --seeds 3
     python -m repro decompose --cliques 8 --size 56
-    python -m repro sweep --family blobs --min-exp 8 --max-exp 12
+    python -m repro sweep --family blobs --min-exp 8 --max-exp 12 --workers 4
+    python -m repro bench benchmarks/specs/quick.toml --workers 4 --out out.jsonl
 
 Every subcommand prints a compact report; ``--json`` switches to
-machine-readable output.
+machine-readable output.  ``compare``, ``sweep`` and ``bench`` execute
+through :mod:`repro.runner`: ``--workers`` shards trials over processes,
+``--out`` persists per-trial results to a JSONL store, and re-runs
+against the same store skip every already-computed trial (disable with
+``--no-resume``, which truncates the store first).
 """
 
 from __future__ import annotations
@@ -19,58 +24,42 @@ from typing import Any
 
 import numpy as np
 
-from repro.baselines.johansson import johansson_coloring
-from repro.baselines.luby import luby_coloring
 from repro.config import ColoringConfig
 from repro.core.algorithm import BroadcastColoring
 from repro.decomposition.acd import decompose_distributed
 from repro.decomposition.validation import validate_decomposition
-from repro.analysis.fitting import growth_fit
-from repro.graphs.generators import (
-    clique_blob_graph,
-    geometric_graph,
-    gnp_graph,
-    hard_mix_graph,
-    planted_acd_graph,
+from repro.graphs.families import FAMILIES, make_graph
+from repro.graphs.generators import planted_acd_graph
+from repro.runner import (
+    ParallelRunner,
+    ResultStore,
+    RunReport,
+    TrialSpec,
+    fit_rounds,
+    load_matrix,
+    mean_by,
+    summarize_payloads,
 )
 from repro.simulator.network import BroadcastNetwork
 
 __all__ = ["main", "build_parser", "make_graph"]
 
 
-def make_graph(family: str, n: int, avg_degree: float, seed: int):
-    """Instantiate a workload by family name (shared by all subcommands)."""
-    if family == "gnp":
-        return gnp_graph(n, min(1.0, avg_degree / max(n, 2)), seed=seed)
-    if family == "blobs":
-        size = max(8, int(avg_degree))
-        return clique_blob_graph(
-            max(1, n // size),
-            size,
-            anti_edges_per_clique=max(1, size // 3),
-            external_edges_per_clique=max(1, size // 6),
-            seed=seed,
-        )
-    if family == "geometric":
-        radius = float(np.sqrt(avg_degree / (np.pi * max(n, 2))))
-        return geometric_graph(n, radius, seed=seed)
-    if family == "hardmix":
-        size = max(8, int(avg_degree))
-        blobs = max(1, n // (4 * size))
-        return hard_mix_graph(
-            blobs, size, n - blobs * size, avg_degree / max(n, 2), n // 20, seed=seed
-        )
-    if family == "planted":
-        size = max(8, int(avg_degree))
-        return planted_acd_graph(
-            max(1, n // size), size, 0.1, sparse_nodes=n // 5, seed=seed
-        )
-    raise SystemExit(f"unknown family: {family!r}")
+def _json_safe(value: Any) -> Any:
+    """Replace non-finite floats with None so --json output stays strict
+    RFC 8259 (json.dumps would otherwise emit the literal ``NaN``)."""
+    if isinstance(value, float) and not np.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
 
 
 def _emit(report: dict[str, Any], as_json: bool) -> None:
     if as_json:
-        print(json.dumps(report, indent=2, default=str))
+        print(json.dumps(_json_safe(report), indent=2, default=str))
         return
     for key, value in report.items():
         if isinstance(value, dict):
@@ -93,22 +82,53 @@ def cmd_color(args: argparse.Namespace) -> int:
     return 0 if (result.proper and result.complete) else 1
 
 
-def cmd_compare(args: argparse.Namespace) -> int:
-    rows = []
-    for seed in range(args.seeds):
-        graph = make_graph(args.family, args.n, args.avg_degree, seed)
-        ours = BroadcastColoring(graph, ColoringConfig.practical(seed=seed)).run()
-        joh = johansson_coloring(graph, seed=seed)
-        lub = luby_coloring(graph, seed=seed)
-        rows.append(
-            {
-                "seed": seed,
-                "ours_rounds": ours.rounds_algorithm,
-                "johansson_rounds": joh.rounds,
-                "luby_rounds": lub.rounds,
-                "ours_bits_per_node": round(ours.total_bits / ours.n),
-            }
+def _make_runner(args: argparse.Namespace) -> ParallelRunner:
+    """Build the trial runner from the shared --workers/--out/--resume flags."""
+    store = None
+    if args.out:
+        store = ResultStore(args.out, resume=args.resume)
+
+    def progress(done: int, total: int, result) -> None:
+        tag = "cache" if result.cached else result.status
+        print(
+            f"[{done}/{total}] {tag:7s} {result.spec.algorithm:9s} "
+            f"{result.spec.family} n={result.spec.n} seed={result.spec.seed}",
+            file=sys.stderr,
         )
+
+    return ParallelRunner(
+        workers=args.workers,
+        store=store,
+        timeout_s=args.timeout,
+        progress=progress if args.progress else None,
+    )
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    algorithms = ("broadcast", "johansson", "luby")
+    specs = [
+        TrialSpec(
+            family=args.family, n=args.n, avg_degree=args.avg_degree,
+            seed=seed, algorithm=algo,
+        )
+        for seed in range(args.seeds)
+        for algo in algorithms
+    ]
+    run = _make_runner(args).run(specs)
+    if run.failed:
+        _report_failures(run)
+        return 1
+    by = {(p["seed"], p["algorithm"]): p for p in run.payloads()}
+    rows = [
+        {
+            "seed": seed,
+            "ours_rounds": by[(seed, "broadcast")]["rounds"],
+            "johansson_rounds": by[(seed, "johansson")]["rounds"],
+            "luby_rounds": by[(seed, "luby")]["rounds"],
+            "ours_bits_per_node": round(by[(seed, "broadcast")]["bits_per_node"]),
+        }
+        for seed in range(args.seeds)
+    ]
     report = {
         "family": args.family,
         "n": args.n,
@@ -116,6 +136,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         "mean_ours": float(np.mean([r["ours_rounds"] for r in rows])),
         "mean_johansson": float(np.mean([r["johansson_rounds"] for r in rows])),
         "mean_luby": float(np.mean([r["luby_rounds"] for r in rows])),
+        "trials": run.summary(),
     }
     _emit(report, args.json)
     return 0
@@ -142,26 +163,76 @@ def cmd_decompose(args: argparse.Namespace) -> int:
     return 0 if rep.ok else 1
 
 
+def _report_failures(run: RunReport) -> None:
+    for r in run.failed:
+        detail = (r.error or "").strip().splitlines()
+        tail = detail[-1] if detail else "unknown failure"
+        print(
+            f"trial failed ({r.status}): {r.spec.as_dict()}: {tail}",
+            file=sys.stderr,
+        )
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     ns = [2**k for k in range(args.min_exp, args.max_exp + 1)]
-    ours_series, base_series = [], []
-    rows = []
-    for n in ns:
-        ours, base = [], []
-        for seed in range(args.seeds):
-            graph = make_graph(args.family, n, args.avg_degree, seed)
-            res = BroadcastColoring(graph, ColoringConfig.practical(seed=seed)).run()
-            ours.append(res.rounds_algorithm)
-            base.append(johansson_coloring(graph, seed=seed).rounds)
-        ours_series.append(float(np.mean(ours)))
-        base_series.append(float(np.mean(base)))
-        rows.append({"n": n, "ours": ours_series[-1], "johansson": base_series[-1]})
+    specs = [
+        TrialSpec(
+            family=args.family, n=n, avg_degree=args.avg_degree,
+            seed=seed, algorithm=algo,
+        )
+        for n in ns
+        for seed in range(args.seeds)
+        for algo in ("broadcast", "johansson")
+    ]
+    run = _make_runner(args).run(specs)
+    if run.failed:
+        _report_failures(run)
+        return 1
+    payloads = run.payloads()
+    ours = mean_by([p for p in payloads if p["algorithm"] == "broadcast"], ["n"])
+    base = mean_by([p for p in payloads if p["algorithm"] == "johansson"], ["n"])
+    rows = [{"n": n, "ours": ours[(n,)], "johansson": base[(n,)]} for n in ns]
     report: dict[str, Any] = {"family": args.family, "rows": rows}
     if len(ns) >= 2:
-        report["fit_ours"] = growth_fit(ns, ours_series).best
-        report["fit_johansson"] = growth_fit(ns, base_series).best
+        report["fit_ours"] = fit_rounds(payloads, where={"algorithm": "broadcast"}).best
+        report["fit_johansson"] = fit_rounds(
+            payloads, where={"algorithm": "johansson"}
+        ).best
+    report["trials"] = run.summary()
     _emit(report, args.json)
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    try:
+        specs = load_matrix(args.specfile)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load spec matrix: {exc}")
+    run = _make_runner(args).run(specs)
+    if run.failed:
+        _report_failures(run)
+    payloads = run.payloads()
+    groups = mean_by(payloads, ["family", "algorithm", "n"], value="rounds")
+    rows = [
+        {"family": fam, "algorithm": algo, "n": n, "mean_rounds": rounds}
+        for (fam, algo, n), rounds in groups.items()
+    ]
+    fits = {}
+    for fam in sorted({p["family"] for p in payloads}):
+        for algo in sorted({p["algorithm"] for p in payloads}):
+            fit = fit_rounds(payloads, where={"family": fam, "algorithm": algo})
+            if fit is not None:
+                fits[f"{fam}/{algo}"] = fit.best
+    report: dict[str, Any] = {
+        "specfile": str(args.specfile),
+        "rows": rows,
+        "summary": summarize_payloads(payloads),
+        "trials": run.summary(),
+    }
+    if fits:
+        report["fits"] = fits
+    _emit(report, args.json)
+    return 0 if not run.failed else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -172,12 +243,24 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--family", default="gnp",
-                       choices=["gnp", "blobs", "geometric", "hardmix", "planted"])
+        p.add_argument("--family", default="gnp", choices=list(FAMILIES))
         p.add_argument("--n", type=int, default=2000)
         p.add_argument("--avg-degree", type=float, default=40.0)
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--json", action="store_true")
+
+    def runner_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=1,
+                       help="process-pool size (1 = run inline, the default)")
+        p.add_argument("--out", default=None, metavar="PATH",
+                       help="JSONL result store; cached trials are skipped on re-runs")
+        p.add_argument("--resume", action=argparse.BooleanOptionalAction, default=True,
+                       help="reuse results already in --out "
+                            "(--no-resume truncates the store first)")
+        p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="per-trial wall-clock budget")
+        p.add_argument("--progress", action=argparse.BooleanOptionalAction, default=False,
+                       help="per-trial progress lines on stderr")
 
     p_color = sub.add_parser("color", help="run the full pipeline on one graph")
     common(p_color)
@@ -187,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser("compare", help="ours vs Johansson vs Luby across seeds")
     common(p_cmp)
+    runner_flags(p_cmp)
     p_cmp.add_argument("--seeds", type=int, default=3)
     p_cmp.set_defaults(fn=cmd_compare)
 
@@ -200,10 +284,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser("sweep", help="rounds vs n with growth-shape fits")
     common(p_sweep)
+    runner_flags(p_sweep)
     p_sweep.add_argument("--min-exp", type=int, default=8)
     p_sweep.add_argument("--max-exp", type=int, default=12)
     p_sweep.add_argument("--seeds", type=int, default=2)
     p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_bench = sub.add_parser(
+        "bench", help="replay a TOML/JSON spec matrix through the trial runner"
+    )
+    p_bench.add_argument("specfile", help="spec matrix file (see EXPERIMENTS.md)")
+    p_bench.add_argument("--json", action="store_true")
+    runner_flags(p_bench)
+    p_bench.set_defaults(fn=cmd_bench)
 
     return parser
 

@@ -1,0 +1,55 @@
+"""Named workload families: one factory shared by the CLI, the runner and
+the benches.
+
+A *family* is a recipe turning ``(n, avg_degree, seed)`` into a concrete
+graph.  Keeping the recipes here (rather than inside ``cli.py``, where
+they historically lived) lets :mod:`repro.runner` worker processes build
+the graph for a :class:`~repro.runner.spec.TrialSpec` without importing
+argparse machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.generators import (
+    clique_blob_graph,
+    geometric_graph,
+    gnp_graph,
+    hard_mix_graph,
+    planted_acd_graph,
+)
+
+__all__ = ["FAMILIES", "make_graph"]
+
+FAMILIES = ("gnp", "blobs", "geometric", "hardmix", "planted")
+
+
+def make_graph(family: str, n: int, avg_degree: float, seed: int):
+    """Instantiate a workload by family name (shared by all subcommands)."""
+    if family == "gnp":
+        return gnp_graph(n, min(1.0, avg_degree / max(n, 2)), seed=seed)
+    if family == "blobs":
+        size = max(8, int(avg_degree))
+        return clique_blob_graph(
+            max(1, n // size),
+            size,
+            anti_edges_per_clique=max(1, size // 3),
+            external_edges_per_clique=max(1, size // 6),
+            seed=seed,
+        )
+    if family == "geometric":
+        radius = float(np.sqrt(avg_degree / (np.pi * max(n, 2))))
+        return geometric_graph(n, radius, seed=seed)
+    if family == "hardmix":
+        size = max(8, int(avg_degree))
+        blobs = max(1, n // (4 * size))
+        return hard_mix_graph(
+            blobs, size, n - blobs * size, avg_degree / max(n, 2), n // 20, seed=seed
+        )
+    if family == "planted":
+        size = max(8, int(avg_degree))
+        return planted_acd_graph(
+            max(1, n // size), size, 0.1, sparse_nodes=n // 5, seed=seed
+        )
+    raise ValueError(f"unknown family: {family!r}")

@@ -1,0 +1,154 @@
+"""Worker-side trial execution.
+
+:func:`run_trial` is the pure function at the heart of the runner: spec in,
+deterministic payload out.  It is module-level (picklable) so
+``ProcessPoolExecutor`` workers can import and run it, and it carries its
+own timeout guard (SIGALRM on POSIX) so a runaway trial kills itself
+inside the worker instead of wedging the pool.
+"""
+
+from __future__ import annotations
+
+import math
+import signal
+import threading
+import time
+import traceback
+from contextlib import contextmanager
+from typing import Any
+
+from repro.baselines.greedy import greedy_coloring
+from repro.baselines.johansson import johansson_coloring
+from repro.baselines.luby import luby_coloring
+from repro.config import ColoringConfig
+from repro.core.algorithm import BroadcastColoring
+from repro.graphs.families import make_graph
+from repro.runner.spec import TrialResult, TrialSpec
+from repro.simulator.network import BroadcastNetwork
+
+__all__ = ["run_trial", "TrialTimeout"]
+
+
+class TrialTimeout(Exception):
+    """Raised inside a worker when a trial exceeds its wall-clock budget."""
+
+
+@contextmanager
+def _alarm(timeout_s: float | None):
+    """SIGALRM-based timeout; a no-op off the main thread or off POSIX."""
+    usable = (
+        timeout_s is not None
+        and timeout_s > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _raise(signum, frame):
+        raise TrialTimeout(f"trial exceeded {timeout_s}s")
+
+    previous = signal.signal(signal.SIGALRM, _raise)
+    signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _config_for(spec: TrialSpec) -> ColoringConfig:
+    base = ColoringConfig.paper if spec.preset == "paper" else ColoringConfig.practical
+    return base(seed=spec.algo_seed(), **{k: v for k, v in spec.overrides})
+
+
+def _measure(spec: TrialSpec) -> dict[str, Any]:
+    """Execute the algorithm named by the spec; return the payload."""
+    graph = make_graph(spec.family, spec.n, spec.avg_degree, spec.graph_seed())
+    algo = None
+    if spec.algorithm == "broadcast":
+        # Let the algorithm build (and configure) its own network, then
+        # read the graph stats from it — one construction, no duplicated
+        # bandwidth policy.
+        algo = BroadcastColoring(graph, _config_for(spec))
+        net = algo.net
+    else:
+        net = BroadcastNetwork(graph)
+    payload: dict[str, Any] = {
+        **spec.as_dict(),
+        "n_actual": int(net.n),
+        "m": int(net.m),
+        "delta": int(net.delta),
+    }
+    if algo is not None:
+        res = algo.run()
+        payload.update(
+            rounds=int(res.rounds_algorithm),
+            rounds_total=int(res.rounds_total),
+            rounds_cleanup=int(res.rounds_cleanup),
+            proper=bool(res.proper),
+            complete=bool(res.complete),
+            num_colors_used=int(res.num_colors_used),
+            total_bits=int(res.total_bits),
+            bits_per_node=float(res.total_bits / max(res.n, 1)),
+        )
+    elif spec.algorithm in ("johansson", "luby"):
+        fn = johansson_coloring if spec.algorithm == "johansson" else luby_coloring
+        res = fn(net, seed=spec.algo_seed())
+        colors = res.colors
+        payload.update(
+            rounds=int(res.rounds),
+            proper=bool(res.proper),
+            complete=bool(res.complete),
+            num_colors_used=int(len({int(c) for c in colors if c >= 0})),
+            total_bits=int(res.total_bits),
+            bits_per_node=float(res.total_bits / max(net.n, 1)),
+        )
+    elif spec.algorithm == "greedy":
+        colors = greedy_coloring(net, smallest_last=True)
+        und = net.undirected_edges()
+        proper = bool((colors[und[:, 0]] != colors[und[:, 1]]).all()) if net.m else True
+        payload.update(
+            rounds=int(net.n),  # sequential: one node per "round"
+            proper=bool(proper),
+            complete=bool((colors >= 0).all()),
+            num_colors_used=int(colors.max()) + 1 if colors.size else 0,
+            total_bits=0,
+            bits_per_node=0.0,
+        )
+    else:  # pragma: no cover - guarded by TrialSpec.__post_init__
+        raise ValueError(f"unknown algorithm: {spec.algorithm!r}")
+    for value in payload.values():
+        if isinstance(value, float) and not math.isfinite(value):
+            raise ValueError(f"non-finite measurement in payload: {payload}")
+    return payload
+
+
+def run_trial(spec: TrialSpec, timeout_s: float | None = None) -> TrialResult:
+    """Execute one trial, never raising: failures become status records."""
+    start = time.perf_counter()
+    try:
+        with _alarm(timeout_s):
+            payload = _measure(spec)
+        return TrialResult(
+            spec=spec, status="ok", payload=payload,
+            elapsed_s=time.perf_counter() - start,
+        )
+    except TrialTimeout as exc:
+        return TrialResult(
+            spec=spec, status="timeout", error=str(exc),
+            elapsed_s=time.perf_counter() - start,
+        )
+    except Exception:
+        return TrialResult(
+            spec=spec, status="error",
+            error=traceback.format_exc(limit=8),
+            elapsed_s=time.perf_counter() - start,
+        )
+
+
+def _pool_entry(spec_dict: dict, timeout_s: float | None) -> dict:
+    """ProcessPool entry point: dict in, dict out (cheap, stable pickling)."""
+    result = run_trial(TrialSpec.from_dict(spec_dict), timeout_s=timeout_s)
+    return result.record()

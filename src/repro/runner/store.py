@@ -1,0 +1,85 @@
+"""JSON-lines result store with content-hash keys.
+
+One line per completed trial, keyed by :func:`repro.runner.spec.spec_key`.
+The format is append-only and human-greppable; loading tolerates a
+truncated final line (a crashed run resumes cleanly — exactly the
+partial-store scenario the runner's ``--resume`` path exercises).
+
+Only ``status == "ok"`` results are persisted by the runner: errored or
+timed-out trials stay out of the store so a resumed run retries them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import Iterator
+
+from repro.runner.spec import TrialResult, TrialSpec
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Append-only JSONL store of :class:`TrialResult` records.
+
+    >>> store = ResultStore("results.jsonl")     # doctest: +SKIP
+    >>> store.add(result)                        # doctest: +SKIP
+    >>> store.get(spec.key) is not None          # doctest: +SKIP
+    """
+
+    def __init__(self, path: str | Path, resume: bool = True):
+        self.path = Path(path)
+        self._by_key: dict[str, TrialResult] = {}
+        if not resume:
+            # Fresh run: drop any previous store contents.
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text("")
+        elif self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                    result = TrialResult.from_record(rec)
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    continue  # truncated/corrupt tail line — ignore and move on
+                result.cached = True
+                self._by_key[result.key] = result
+
+    # -- mapping interface ---------------------------------------------
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._by_key
+
+    def __iter__(self) -> Iterator[TrialResult]:
+        return iter(self._by_key.values())
+
+    def get(self, key: str) -> TrialResult | None:
+        return self._by_key.get(key)
+
+    def lookup(self, spec: TrialSpec) -> TrialResult | None:
+        """Cached result for ``spec``, marked ``cached=True``, or None.
+
+        Returns a copy so results a live run just ``add()``-ed keep their
+        own ``cached=False`` while later lookups report a cache hit."""
+        hit = self._by_key.get(spec.key)
+        return None if hit is None else replace(hit, cached=True)
+
+    # -- writes ---------------------------------------------------------
+    def add(self, result: TrialResult) -> None:
+        """Persist one result (idempotent per key: re-adding overwrites the
+        in-memory entry but appends a new line; loads keep the last line)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(result.record(), sort_keys=True) + "\n")
+            fh.flush()
+        self._by_key[result.key] = result

@@ -18,8 +18,8 @@ class TestMakeGraph:
         assert net.n >= 200
         assert net.m > 0
 
-    def test_unknown_family_exits(self):
-        with pytest.raises(SystemExit):
+    def test_unknown_family_raises(self):
+        with pytest.raises(ValueError):
             make_graph("nope", 100, 10.0, 0)
 
     def test_deterministic(self):
@@ -91,3 +91,80 @@ class TestCommands:
         data = json.loads(capsys.readouterr().out)
         assert len(data["rows"]) == 2
         assert "fit_ours" in data
+
+
+SWEEP_ARGS = ["sweep", "--family", "gnp", "--avg-degree", "12",
+              "--min-exp", "7", "--max-exp", "8", "--seeds", "1", "--json"]
+
+
+class TestRunnerBackedCommands:
+    """compare/sweep/bench now execute through repro.runner; the CLI
+    contract is that worker count and caching never change the output."""
+
+    def test_sweep_workers_byte_identical(self, capsys):
+        assert main(SWEEP_ARGS + ["--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(SWEEP_ARGS + ["--workers", "4"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+        assert json.loads(serial)["trials"]["computed"] == 4
+
+    def test_sweep_out_store_resumes(self, capsys, tmp_path):
+        store = str(tmp_path / "sweep.jsonl")
+        assert main(SWEEP_ARGS + ["--workers", "2", "--out", store]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["trials"]["cached"] == 0
+        assert main(SWEEP_ARGS + ["--workers", "2", "--out", store]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["trials"]["computed"] == 0
+        assert second["trials"]["cached"] == second["trials"]["trials"]
+        assert first["rows"] == second["rows"]
+
+    def test_sweep_no_resume_recomputes(self, capsys, tmp_path):
+        store = str(tmp_path / "sweep.jsonl")
+        assert main(SWEEP_ARGS + ["--out", store]) == 0
+        capsys.readouterr()
+        assert main(SWEEP_ARGS + ["--out", store, "--no-resume"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["trials"]["cached"] == 0
+
+    def test_compare_json_through_runner(self, capsys):
+        rc = main(["compare", "--family", "gnp", "--n", "128", "--avg-degree",
+                   "10", "--seeds", "2", "--workers", "2", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [r["seed"] for r in data["runs"]] == [0, 1]
+        assert data["trials"] == {"trials": 6, "ok": 6, "failed": 0,
+                                  "cached": 0, "computed": 6}
+
+    def test_bench_json_spec_file(self, capsys, tmp_path):
+        specfile = tmp_path / "m.json"
+        specfile.write_text(json.dumps({"matrix": {
+            "family": "gnp", "n": [96, 128], "avg_degree": 10, "seeds": 1,
+            "algorithm": ["broadcast", "johansson"],
+        }}))
+        rc = main(["bench", str(specfile), "--workers", "2", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["trials"]["ok"] == 4
+        assert len(data["rows"]) == 4
+        assert "gnp/broadcast" in data["fits"]
+        assert data["summary"]["rounds"]["count"] == 4
+
+    def test_bench_toml_spec_file(self, capsys, tmp_path):
+        specfile = tmp_path / "m.toml"
+        specfile.write_text(
+            '[matrix]\nfamily = "gnp"\nn = 96\navg_degree = 10\nseeds = 1\n'
+        )
+        rc = main(["bench", str(specfile), "--json"])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["trials"]["ok"] == 1
+
+    def test_bench_missing_file_exits(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "/nonexistent/specs.toml", "--json"])
+
+    def test_progress_lines_on_stderr(self, capsys):
+        assert main(SWEEP_ARGS + ["--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "[4/4]" in err
