@@ -9,6 +9,10 @@ with plain one-color TryColor on the same instances.
 
 from __future__ import annotations
 
+import os
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -19,8 +23,12 @@ from repro.core.multitrial import multitrial
 from repro.core.state import ColoringState
 from repro.core.trycolor import palette_sampler, try_color_round
 from repro.graphs.generators import gnp_graph
+from repro.runner.benchtrack import append_entry
 from repro.simulator.network import BroadcastNetwork
 from repro.simulator.rng import SeedSequencer
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TRAJECTORY = REPO_ROOT / "BENCH_multitrial.json"
 
 
 def high_slack_graph(n, seed):
@@ -104,6 +112,69 @@ def test_e9_multitrial_vs_single_trycolor(benchmark):
         rows,
     )
     benchmark.pedantic(lambda: _mt_once(1024, 3), rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="E9-multitrial")
+def test_e9_vectorized_speedup_tracked(benchmark):
+    """The tracked perf baseline: MultiTrial at n≈20k (G(n, 24/n) — the
+    sparse-phase workload) under the pre-vectorization configuration
+    (per-node engine, "prg" sampler) vs the vectorized default (edge-wise
+    engine, "batched" counter-mode sampler).  Appends both wall-clocks and
+    the speedup to ``BENCH_multitrial.json`` at the repo root; CI uploads
+    the file and fails when the benchmarked path is not the vectorized
+    engine (the per-node loop would silently eat the speedup).
+    """
+    n = int(os.environ.get("REPRO_BENCH_MT_N", "20000"))
+    reps = int(os.environ.get("REPRO_BENCH_MT_REPS", "3"))
+    graph = high_slack_graph(n, 7)
+
+    def run_once(sampler: str, engine: str) -> tuple[float, object]:
+        net = BroadcastNetwork(graph)
+        state = ColoringState(net)
+        cfg = ColoringConfig.practical(multitrial_sampler=sampler)
+        mask = np.ones(n, dtype=bool)
+        lo = np.zeros(n, dtype=np.int64)
+        hi = np.full(n, state.num_colors, dtype=np.int64)
+        t0 = time.perf_counter()
+        rep = multitrial(state, mask, lo, hi, cfg, SeedSequencer(1), "mt", engine=engine)
+        elapsed = time.perf_counter() - t0
+        assert rep.remaining == 0
+        return elapsed, rep
+
+    legacy_s = min(run_once("prg", "pernode")[0] for _ in range(reps))
+    vec_times, vec_rep = [], None
+    for _ in range(reps):
+        elapsed, vec_rep = run_once("batched", "vectorized")
+        vec_times.append(elapsed)
+    vectorized_s = min(vec_times)
+    speedup = legacy_s / max(vectorized_s, 1e-9)
+
+    rows = [
+        ("per-node engine + prg sampler (pre-refactor)", f"{legacy_s:.3f}"),
+        ("vectorized engine + batched sampler (default)", f"{vectorized_s:.4f}"),
+        ("speedup", f"{speedup:.1f}x"),
+    ]
+    print_table(f"E9 vectorized MultiTrial speedup (n={n})", ["path", "seconds"], rows)
+
+    assert vec_rep.engine == "vectorized", "benchmarked path fell back to the per-node loop"
+    append_entry(
+        TRAJECTORY,
+        {
+            "n": n,
+            "family": "gnp-24/n",
+            "engine": vec_rep.engine,
+            "sampler": "batched",
+            "iterations": vec_rep.iterations,
+            "legacy_s": round(legacy_s, 4),
+            "vectorized_s": round(vectorized_s, 4),
+            "speedup": round(speedup, 2),
+        },
+        label=f"multitrial-n{n}",
+    )
+    # Generous sanity floor (CI hardware varies); the tracked trajectory
+    # carries the real number — locally this measures >10x.
+    assert speedup >= 2.0
+    benchmark.pedantic(lambda: _mt_once(4096, 5), rounds=1, iterations=1)
 
 
 @pytest.mark.benchmark(group="E9-multitrial")

@@ -138,11 +138,15 @@ class ColoringConfig:
     multitrial_max_iters: int = 24
     """Safety bound on MultiTrial iterations before falling back."""
 
-    multitrial_sampler: str = "prg"
-    """Seed-expansion device for representative sets: "prg" (counter-mode
-    PCG64, the default substitution documented in DESIGN.md §2) or
+    multitrial_sampler: str = "batched"
+    """Seed-expansion device for representative sets: "batched" (vectorized
+    counter-mode splitmix64 — one numpy call expands every active node's
+    seed, see DESIGN.md §4), "prg" (per-node counter-mode PCG64, the
+    pre-vectorization default, kept for stream-level reproducibility) or
     "expander" (the [HN23] construction itself: deterministic walks on a
-    Margulis–Gabber–Galil expander over the color space)."""
+    Margulis–Gabber–Galil expander over the color space).  All three keep
+    the broadcaster/listener symmetry of Lemma 2.14: the expansion is a
+    pure function of (seed, list)."""
 
     # --- ablation switches (DESIGN.md design-choice experiments) ---
     enable_matching: bool = True

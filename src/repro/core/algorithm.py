@@ -76,6 +76,9 @@ class ColoringResult:
     max_message_bits: int
     total_bits: int
     phase_rounds: dict[str, int]
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    """Wall-clock seconds spent executing each phase (simulator time, not a
+    model quantity — feeds the BENCH_*.json perf trajectories)."""
     reports: dict[str, Any] = field(default_factory=dict)
     metrics: RoundMetrics | None = None
     clique_summary: dict | None = None
@@ -270,10 +273,14 @@ class BroadcastColoring:
         reports["cleanup"] = {"rounds": cleanup_rounds}
 
         state.verify()
+        metrics.stop_timer()
         phase_rounds = {
             name: stats.rounds
             for name, stats in metrics.phases.items()
             if name != "total"
+        }
+        phase_seconds = {
+            name: float(secs) for name, secs in metrics.phase_seconds.items()
         }
         return ColoringResult(
             colors=state.colors.copy(),
@@ -287,6 +294,7 @@ class BroadcastColoring:
             max_message_bits=metrics.max_message_bits,
             total_bits=metrics.total_bits,
             phase_rounds=phase_rounds,
+            phase_seconds=phase_seconds,
             reports=reports,
             metrics=metrics,
             clique_summary=info.summary(),

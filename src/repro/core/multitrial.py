@@ -18,10 +18,28 @@ The number of tries grows geometrically per iteration — the engine behind
 the O(log* n) bound: with slack ≥ 2d̂ each try fails with probability
 ≤ 1/2, so the uncolored degree decays doubly exponentially while the try
 budget catches up.
+
+Execution engines (DESIGN.md §4): the round is a pure function of the
+per-node expansions, so the adoption rule admits two implementations that
+must agree entry for entry.
+
+* ``"vectorized"`` (default) — the whole iteration runs on the CSR edge
+  arrays: the (A×k) proposal matrix is built in one call, colored-neighbor
+  collisions die via a sorted join (``searchsorted`` over per-node sorted
+  neighbor colors), smaller-ID expansion collisions die via a sorted
+  membership join over per-node sorted expansions, and each row adopts its
+  first surviving column with one ``argmax``.  No per-node Python.
+* ``"pernode"`` — the reference loop (one node at a time), kept for the
+  engine-equivalence tests and the tracked perf baseline
+  (``BENCH_multitrial.json``).
+
+Round and bit accounting is engine-independent; with the ``"prg"`` sampler
+both engines reproduce the pre-vectorization color streams byte for byte.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,11 +47,15 @@ import numpy as np
 from repro.config import ColoringConfig
 from repro.core.state import ColoringState
 from repro.hashing.expander import walk_colors
-from repro.hashing.prg import expand_indices
+from repro.hashing.prg import derive_seeds_batch, expand_indices, expand_indices_batch
 from repro.simulator.rng import SeedSequencer
 from repro.util.bitio import bits_for_color
 
-__all__ = ["MultiTrialReport", "multitrial"]
+__all__ = ["MultiTrialReport", "multitrial", "ENGINES"]
+
+ENGINES = ("vectorized", "pernode")
+
+_ENGINE_ENV = "REPRO_MULTITRIAL_ENGINE"
 
 
 @dataclass
@@ -41,6 +63,7 @@ class MultiTrialReport:
     iterations: int = 0
     colored: int = 0
     remaining: int = 0
+    engine: str = "vectorized"
     per_iteration: list[dict] = field(default_factory=list)
 
     def as_dict(self) -> dict:
@@ -48,6 +71,7 @@ class MultiTrialReport:
             "iterations": self.iterations,
             "colored": self.colored,
             "remaining": self.remaining,
+            "engine": self.engine,
         }
 
 
@@ -63,6 +87,144 @@ def _expand_list(seed: int, k: int, lo: int, hi: int, sampler: str = "prg") -> n
     return lo + expand_indices(seed, k, width)
 
 
+def _proposal_matrix(
+    active: np.ndarray,
+    k: int,
+    list_lo: np.ndarray,
+    list_hi: np.ndarray,
+    cfg: ColoringConfig,
+    seq: SeedSequencer,
+    phase: str,
+    it: int,
+) -> np.ndarray:
+    """The (A×k) matrix of tried colors: row i is active[i]'s expansion of
+    its broadcast seed over its interval.  Rows whose interval is empty are
+    all ``-1``.  This is the *public* computation — broadcaster and every
+    listener produce identical rows from the seed alone."""
+    lo = list_lo[active].astype(np.int64)
+    hi = list_hi[active].astype(np.int64)
+    if cfg.multitrial_sampler == "batched":
+        # One blake2b for the round, one vectorized mix for all A seeds,
+        # one counter-mode call for all A×k colors.
+        base = seq.derive_seed("mt", phase, it)
+        seeds = derive_seeds_batch(active, base)
+        idx = expand_indices_batch(seeds, k, hi - lo)
+        return np.where(idx >= 0, lo[:, None] + idx, np.int64(-1))
+    proposals = np.full((active.size, k), -1, dtype=np.int64)
+    for i, v in enumerate(active):
+        seed = seq.derive_seed("mt", phase, it, int(v))
+        x_v = _expand_list(seed, k, int(lo[i]), int(hi[i]), cfg.multitrial_sampler)
+        if x_v.size:
+            proposals[i] = x_v
+    return proposals
+
+
+def _resolve_pernode(
+    state: ColoringState, active: np.ndarray, proposals: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reference adoption rule, one node at a time (the pre-vectorization
+    loop).  Kept as the equivalence/bench baseline."""
+    net = state.net
+    pos = np.full(state.n, -1, dtype=np.int64)
+    pos[active] = np.arange(active.size)
+    adopt_nodes: list[int] = []
+    adopt_colors: list[int] = []
+    for i, v in enumerate(active):
+        v = int(v)
+        x_v = proposals[i]
+        if x_v[0] < 0:  # empty interval — rows are homogeneous
+            continue
+        nbrs = net.neighbors(v)
+        nbr_colors = state.colors[nbrs]
+        nbr_colors = nbr_colors[nbr_colors >= 0]
+        forbidden_parts = [nbr_colors]
+        for u in nbrs:
+            u = int(u)
+            if u < v and pos[u] >= 0:
+                forbidden_parts.append(proposals[pos[u]])
+        forbidden = (
+            np.concatenate(forbidden_parts) if len(forbidden_parts) > 1 else nbr_colors
+        )
+        ok = ~np.isin(x_v, forbidden)
+        hits = np.flatnonzero(ok)
+        if hits.size:
+            adopt_nodes.append(v)
+            adopt_colors.append(int(x_v[hits[0]]))
+    return np.asarray(adopt_nodes, dtype=np.int64), np.asarray(adopt_colors, dtype=np.int64)
+
+
+def _resolve_vectorized(
+    state: ColoringState, active: np.ndarray, proposals: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Edge-wise adoption over the CSR arrays — no per-node Python.
+
+    Kill rule (a): a proposal equal to any colored neighbor's color dies.
+    Sorted join: pack (row, color) pairs of colored neighbors into integer
+    keys, ``searchsorted`` every proposal entry against the sorted keys.
+
+    Kill rule (b): a proposal present anywhere in a smaller-ID active
+    neighbor's expansion dies.  Per-row sorted expansions concatenate into
+    one globally sorted key array (row offsets dominate the in-row values),
+    so one ``searchsorted`` per directed active edge batch answers every
+    membership query.
+    """
+    net = state.net
+    a_count, k = proposals.shape
+    pos = np.full(state.n, -1, dtype=np.int64)
+    pos[active] = np.arange(a_count)
+
+    # Key packing span: strictly larger than any color appearing in either
+    # join (proposals, colored neighbor colors) plus a sentinel slot.
+    span = int(
+        max(
+            state.num_colors,
+            int(proposals.max(initial=-1)) + 1,
+            1,
+        )
+    ) + 2
+    sentinel = span - 1  # never a real color on either side of a join
+
+    src, dst = net.edge_src, net.indices
+    src_pos = pos[src]
+    src_active = src_pos >= 0
+
+    # --- rule (a): colored-neighbor collisions -------------------------
+    dst_colors = state.colors[dst]
+    am = src_active & (dst_colors >= 0)
+    colored_keys = np.unique(src_pos[am] * span + dst_colors[am])
+    row_base = np.arange(a_count, dtype=np.int64)[:, None] * span
+    query = row_base + np.where(proposals >= 0, proposals, sentinel)
+    loc = np.searchsorted(colored_keys, query.ravel())
+    loc_ok = loc < colored_keys.size
+    killed = np.zeros(a_count * k, dtype=bool)
+    killed[loc_ok] = colored_keys[loc[loc_ok]] == query.ravel()[loc_ok]
+    killed = killed.reshape(a_count, k)
+
+    # --- rule (b): smaller-ID active neighbors' expansions -------------
+    bm = src_active & (pos[dst] >= 0) & (dst < src)
+    if bm.any():
+        v_rows = src_pos[bm]          # the node whose proposals may die
+        u_rows = pos[dst[bm]]          # the smaller-ID active neighbor
+        sorted_exp = np.sort(np.where(proposals >= 0, proposals, sentinel), axis=1)
+        flat_keys = (row_base + sorted_exp).ravel()  # globally sorted
+        q2 = u_rows[:, None] * span + np.where(
+            proposals[v_rows] >= 0, proposals[v_rows], sentinel - 1
+        )
+        loc2 = np.searchsorted(flat_keys, q2.ravel())
+        loc2_ok = loc2 < flat_keys.size
+        hit2 = np.zeros(q2.size, dtype=bool)
+        hit2[loc2_ok] = flat_keys[loc2[loc2_ok]] == q2.ravel()[loc2_ok]
+        if hit2.any():
+            flat_idx = (v_rows[:, None] * k + np.arange(k, dtype=np.int64)).ravel()
+            killed.ravel()[np.unique(flat_idx[hit2])] = True
+
+    alive = (proposals >= 0) & ~killed
+    has = alive.any(axis=1)
+    first = np.argmax(alive, axis=1)
+    rows = np.flatnonzero(has)
+    return active[rows], proposals[rows, first[rows]]
+
+
 def multitrial(
     state: ColoringState,
     mask: np.ndarray,
@@ -71,6 +233,7 @@ def multitrial(
     cfg: ColoringConfig,
     seq: SeedSequencer,
     phase: str,
+    engine: str | None = None,
 ) -> MultiTrialReport:
     """Color (as many as possible of) the nodes in ``mask`` whose color
     lists are the intervals ``[list_lo[v], list_hi[v])``.
@@ -78,9 +241,19 @@ def multitrial(
     Returns a report; nodes still uncolored after ``cfg.multitrial_max_iters``
     iterations are left for the caller (the cleanup phase picks them up —
     with the paper's slack guarantees this does not happen w.h.p.).
+
+    ``engine`` selects the adoption-rule implementation ("vectorized" or
+    "pernode"); the two are equivalent by construction and by test.  The
+    default is "vectorized" (override per call or via the
+    ``REPRO_MULTITRIAL_ENGINE`` environment variable).
     """
+    if engine is None:
+        engine = os.environ.get(_ENGINE_ENV, "vectorized")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown multitrial engine: {engine!r}")
+    resolve = _resolve_vectorized if engine == "vectorized" else _resolve_pernode
     net = state.net
-    report = MultiTrialReport()
+    report = MultiTrialReport(engine=engine)
     k = float(cfg.multitrial_initial)
     for it in range(cfg.multitrial_max_iters):
         active = np.flatnonzero(mask & (state.colors < 0))
@@ -89,52 +262,29 @@ def multitrial(
         report.iterations += 1
         k_i = int(min(cfg.multitrial_cap, max(1, round(k))))
 
-        active_set = set(int(v) for v in active)
-        seeds = {int(v): seq.derive_seed("mt", phase, it, int(v)) for v in active}
-        expansions: dict[int, np.ndarray] = {
-            v: _expand_list(
-                seeds[v], k_i, int(list_lo[v]), int(list_hi[v]), cfg.multitrial_sampler
-            )
-            for v in active_set
-        }
+        proposals = _proposal_matrix(
+            active, k_i, list_lo, list_hi, cfg, seq, phase, it
+        )
+        adopt_nodes, adopt_colors = resolve(state, active, proposals)
 
-        adopt_nodes: list[int] = []
-        adopt_colors: list[int] = []
-        for v in active:
-            v = int(v)
-            x_v = expansions[v]
-            if x_v.size == 0:
-                continue
-            nbrs = net.neighbors(v)
-            nbr_colors = state.colors[nbrs]
-            nbr_colors = nbr_colors[nbr_colors >= 0]
-            forbidden_parts = [nbr_colors]
-            for u in nbrs:
-                u = int(u)
-                if u < v and u in active_set:
-                    forbidden_parts.append(expansions[u])
-            forbidden = (
-                np.concatenate(forbidden_parts) if len(forbidden_parts) > 1 else nbr_colors
-            )
-            ok = ~np.isin(x_v, forbidden)
-            hits = np.flatnonzero(ok)
-            if hits.size:
-                adopt_nodes.append(v)
-                adopt_colors.append(int(x_v[hits[0]]))
-
-        if adopt_nodes:
-            state.adopt(np.asarray(adopt_nodes), np.asarray(adopt_colors))
+        if adopt_nodes.size:
+            state.adopt(adopt_nodes, adopt_colors)
         # Round 1: seeds (one O(log n)-bit word — capped for tiny graphs
         # where 64 raw bits would exceed the scaled budget); round 2:
         # adopted colors.
         seed_bits = min(64, net.bandwidth_bits) if net.bandwidth_bits else 64
         net.account_vector_round(int(active.size), seed_bits, phase=phase)
         net.account_vector_round(
-            len(adopt_nodes), bits_for_color(state.delta), phase=phase
+            int(adopt_nodes.size), bits_for_color(state.delta), phase=phase
         )
-        report.colored += len(adopt_nodes)
+        report.colored += int(adopt_nodes.size)
         report.per_iteration.append(
-            {"iteration": it, "tries": k_i, "active": int(active.size), "colored": len(adopt_nodes)}
+            {
+                "iteration": it,
+                "tries": k_i,
+                "active": int(active.size),
+                "colored": int(adopt_nodes.size),
+            }
         )
         k *= cfg.multitrial_growth
 

@@ -20,13 +20,89 @@ import numpy as np
 
 from repro.simulator.network import BroadcastNetwork
 
-__all__ = ["ColoringState", "ImproperColoring"]
+__all__ = ["ColoringState", "GroupedPalettes", "ImproperColoring"]
 
 UNCOLORED = -1
 
 
 class ImproperColoring(AssertionError):
     """Raised when an adoption batch would violate propriety."""
+
+
+class GroupedPalettes:
+    """Batch view of the palettes Ψ(v) ∩ [lo(v), hi(v)) for a set of nodes,
+    without materializing any per-node color list.
+
+    The forbidden colors (distinct colored-neighbor colors inside each
+    node's interval) are held as one flat *sorted* key array
+    ``row·span + color`` with per-row segment ``offsets`` — the grouped
+    form every consumer queries with ``searchsorted``.  ``sizes[i]`` is
+    |Ψ(nodes[i]) ∩ [lo, hi)|; :meth:`kth_color` maps a per-node palette
+    rank to the actual color by binary search on the complement rank, so
+    uniform palette sampling is ``rank = floor(u·size)`` plus one call —
+    no per-node Python (the vectorized TryColor samplers are built on
+    this; see :func:`repro.core.trycolor.palette_sampler`).
+    """
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        offsets: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        sizes: np.ndarray,
+        span: int,
+    ):
+        self.keys = keys
+        self.offsets = offsets
+        self.lo = lo
+        self.hi = hi
+        self.sizes = sizes
+        self.span = span
+
+    def kth_color(self, ranks: np.ndarray) -> np.ndarray:
+        """The rank-th smallest palette color per node (−1 where the rank
+        falls outside ``[0, sizes[i])``, e.g. for empty palettes).
+
+        Vectorized binary search: ``free(c) = (c − lo + 1) − #forbidden ≤ c``
+        counts the free colors in ``[lo, c]`` and increases exactly at free
+        colors, so the smallest ``c`` with ``free(c) = rank+1`` is the
+        answer; ``#forbidden ≤ c`` is one ``searchsorted`` against the
+        grouped keys per bisection step.
+        """
+        ranks = np.asarray(ranks, dtype=np.int64)
+        b = ranks.size
+        out = np.full(b, -1, dtype=np.int64)
+        ok = (ranks >= 0) & (ranks < self.sizes)
+        if not ok.any():
+            return out
+        rows = np.arange(b, dtype=np.int64)
+        target = ranks + 1
+        lo_b = self.lo.astype(np.int64).copy()
+        hi_b = self.hi.astype(np.int64) - 1
+        base = rows * self.span
+        seg_start = self.offsets[:-1]
+        while True:
+            open_ = ok & (lo_b < hi_b)
+            if not open_.any():
+                break
+            mid = (lo_b + hi_b) >> 1
+            forb_le = (
+                np.searchsorted(self.keys, base + mid, side="right") - seg_start
+            )
+            ge = (mid - self.lo + 1) - forb_le >= target
+            hi_b = np.where(open_ & ge, mid, hi_b)
+            lo_b = np.where(open_ & ~ge, mid + 1, lo_b)
+        out[ok] = lo_b[ok]
+        return out
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """One uniform color from each node's palette (−1 where empty)."""
+        u = rng.random(self.sizes.size)
+        ranks = np.minimum(
+            (u * self.sizes).astype(np.int64), np.maximum(self.sizes - 1, 0)
+        )
+        return self.kth_color(ranks)
 
 
 class ColoringState:
@@ -86,16 +162,58 @@ class ColoringState:
     def palette_sizes(self) -> np.ndarray:
         """|Ψ(v)| for every node, vectorized: num_colors − #distinct colors
         in the neighborhood."""
-        distinct = np.zeros(self.n, dtype=np.int64)
         src = self.net.edge_src
         dst_colors = self.colors[self.net.indices]
         ok = dst_colors >= 0
-        if ok.any():
-            # Count distinct (src, color) pairs via sorting.
-            pairs = src[ok].astype(np.int64) * (self.num_colors + 1) + dst_colors[ok]
-            uniq = np.unique(pairs)
-            np.add.at(distinct, (uniq // (self.num_colors + 1)).astype(np.int64), 1)
-        return self.num_colors - distinct
+        if not ok.any():
+            return np.full(self.n, self.num_colors, dtype=np.int64)
+        # Count distinct (src, color) pairs via sorting.
+        pairs = src[ok].astype(np.int64) * (self.num_colors + 1) + dst_colors[ok]
+        uniq = np.unique(pairs)
+        distinct = np.bincount(uniq // (self.num_colors + 1), minlength=self.n)
+        return self.num_colors - distinct.astype(np.int64)
+
+    def grouped_palettes(
+        self,
+        nodes: np.ndarray,
+        lo: np.ndarray | int = 0,
+        hi: np.ndarray | int | None = None,
+    ) -> GroupedPalettes:
+        """Grouped palettes Ψ(v) ∩ [lo(v), hi(v)) for a batch of (distinct)
+        nodes — the shared helper behind the vectorized TryColor samplers.
+
+        ``lo``/``hi`` are scalars or per-node arrays indexed by *node id*
+        (the convention of the interval samplers); intervals are clipped to
+        ``[0, num_colors)``, matching :meth:`palette`.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        b = nodes.size
+        lo_v = (lo[nodes] if isinstance(lo, np.ndarray) else np.full(b, lo)).astype(
+            np.int64
+        )
+        if hi is None:
+            hi_v = np.full(b, self.num_colors, dtype=np.int64)
+        else:
+            hi_v = (hi[nodes] if isinstance(hi, np.ndarray) else np.full(b, hi)).astype(
+                np.int64
+            )
+        lo_v = np.clip(lo_v, 0, self.num_colors)
+        hi_v = np.clip(hi_v, 0, self.num_colors)
+        pos = np.full(self.n, -1, dtype=np.int64)
+        pos[nodes] = np.arange(b)
+        src, dst = self.net.edge_src, self.net.indices
+        rows = pos[src]
+        cols = self.colors[dst]
+        keep = (rows >= 0) & (cols >= 0)
+        rows, cols = rows[keep], cols[keep]
+        in_interval = (cols >= lo_v[rows]) & (cols < hi_v[rows])
+        rows, cols = rows[in_interval], cols[in_interval]
+        span = self.num_colors + 1
+        keys = np.unique(rows * span + cols)
+        counts = np.bincount(keys // span, minlength=b)
+        offsets = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
+        sizes = np.maximum(hi_v - lo_v, 0) - counts
+        return GroupedPalettes(keys, offsets, lo_v, hi_v, sizes, span)
 
     def slack(self) -> np.ndarray:
         """s(v) = |Ψ(v)| − d̂(v) (Definition 2.11), for every node."""

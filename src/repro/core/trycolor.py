@@ -47,7 +47,7 @@ def resolve_proposals(
     kill = np.zeros(state.n, dtype=bool)
     a = valid[src] & (state.colors[dst] >= 0) & (proposals[src] == state.colors[dst])
     b = valid[src] & valid[dst] & (proposals[src] == proposals[dst]) & (dst < src)
-    np.logical_or.at(kill, src[a | b], True)
+    kill[src[a | b]] = True
     winners = np.flatnonzero(valid & ~kill)
     if winners.size:
         state.adopt(winners, proposals[winners])
@@ -80,15 +80,18 @@ def interval_sampler(lo: np.ndarray | int, hi: np.ndarray | int) -> Sampler:
 def palette_sampler(state: ColoringState) -> Sampler:
     """Uniform sample from the node's current palette Ψ(v) (used by the
     cleanup phase).  Falls back to color 0 for empty palettes (cannot
-    happen in (Δ+1)-coloring: d(v) ≤ Δ < |palette|)."""
+    happen in (Δ+1)-coloring: d(v) ≤ Δ < |palette|).
+
+    Loop-free: the grouped-palette helper
+    (:meth:`repro.core.state.ColoringState.grouped_palettes`) exposes all
+    palette sizes at once, a rank is drawn per node, and one vectorized
+    rank→color search maps ranks back to colors.
+    """
 
     def sample(nodes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        out = np.zeros(nodes.size, dtype=np.int64)
-        for i, v in enumerate(nodes):
-            pal = state.palette(int(v))
-            if pal.size:
-                out[i] = pal[int(rng.integers(0, pal.size))]
-        return out
+        gp = state.grouped_palettes(np.asarray(nodes, dtype=np.int64))
+        out = gp.sample(rng)
+        return np.where(out >= 0, out, 0)
 
     return sample
 
@@ -97,19 +100,13 @@ def palette_interval_sampler(
     state: ColoringState, lo: np.ndarray | int, hi: np.ndarray | int
 ) -> Sampler:
     """Uniform sample from ``Ψ(v) ∩ [lo(v), hi(v))`` — e.g. the
-    Ψ(v)\\[x(v)] trials in open cliques after SCT (proof of Lemma 3.7)."""
+    Ψ(v)\\[x(v)] trials in open cliques after SCT (proof of Lemma 3.7).
+    Loop-free over the grouped palettes; −1 where the intersection is
+    empty (such nodes sit the round out)."""
 
     def sample(nodes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        out = np.full(nodes.size, -1, dtype=np.int64)
-        for i, v in enumerate(nodes):
-            v = int(v)
-            lo_v = int(lo[v] if isinstance(lo, np.ndarray) else lo)
-            hi_v = int(hi[v] if isinstance(hi, np.ndarray) else hi)
-            pal = state.palette(v)
-            pal = pal[(pal >= lo_v) & (pal < hi_v)]
-            if pal.size:
-                out[i] = pal[int(rng.integers(0, pal.size))]
-        return out
+        gp = state.grouped_palettes(np.asarray(nodes, dtype=np.int64), lo, hi)
+        return gp.sample(rng)
 
     return sample
 
@@ -156,7 +153,7 @@ def try_color_round(
         & (proposals[src] == proposals[dst])
         & (dst < src)
     )
-    np.logical_or.at(kill, src[a | b], True)
+    kill[src[a | b]] = True
 
     winners = participants[~kill[participants] & (proposals[participants] >= 0)]
     if winners.size:

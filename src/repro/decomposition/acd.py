@@ -101,6 +101,57 @@ def _neighbor_label_counts(net: BroadcastNetwork, labels: np.ndarray) -> sp.csr_
     return sp.csr_matrix((data, (rows, cols)), shape=(net.n, k)).tocsr()
 
 
+def _admit_joins(
+    v_arr: np.ndarray,
+    c_arr: np.ndarray,
+    cnt_arr: np.ndarray,
+    quota: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized quota admission for the (2c) join: qualifying
+    (node, clique, count) candidacies in, (admitted nodes, their cliques)
+    out.  ``quota[c]`` is clique c's remaining (2a) headroom (mutated).
+
+    Best-count-first with fallback: each round every node bids for its
+    best remaining clique, per-clique quotas admit by grouped rank, and a
+    node whose best clique ran out of headroom falls back to its next
+    qualifying clique (the behaviour of the old sequential scan) — rounds
+    repeat until nothing moves.
+    """
+    order = np.lexsort((v_arr, c_arr, -cnt_arr))
+    v_arr, c_arr, cnt_arr = v_arr[order], c_arr[order], cnt_arr[order]
+    out_v: list[np.ndarray] = []
+    out_c: list[np.ndarray] = []
+    k = quota.size
+    while v_arr.size:
+        # Drop candidacies for cliques with no remaining headroom — a node
+        # whose best clique is full falls through to its next one.
+        open_ = quota[c_arr] > 0
+        v_arr, c_arr, cnt_arr = v_arr[open_], c_arr[open_], cnt_arr[open_]
+        if not v_arr.size:
+            break
+        # One candidacy per node: its best remaining clique.
+        _, first = np.unique(v_arr, return_index=True)
+        bv, bc = v_arr[first], c_arr[first]
+        # Per-clique quota applied to the count-sorted group via grouped
+        # cumulative ranks.
+        gorder = np.lexsort((-cnt_arr[first], bc))
+        bv, bc = bv[gorder], bc[gorder]
+        group_start = np.searchsorted(bc, bc, side="left")
+        rank_in_group = np.arange(bc.size) - group_start
+        admit = rank_in_group < quota[bc]
+        if not admit.any():  # unreachable safety: every open group admits its top rank
+            break
+        out_v.append(bv[admit])
+        out_c.append(bc[admit])
+        quota -= np.bincount(bc[admit], minlength=k)
+        still = np.isin(v_arr, bv[admit], invert=True)
+        v_arr, c_arr, cnt_arr = v_arr[still], c_arr[still], cnt_arr[still]
+    if not out_v:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(out_v), np.concatenate(out_c)
+
+
 def _repair(
     net: BroadcastNetwork,
     labels: np.ndarray,
@@ -141,18 +192,31 @@ def _repair(
                 labels[labels == c] = SPARSE
                 changed = True
         # (2c) join outsiders that see almost all of a clique, unless that
-        # would break (2a).
+        # would break (2a).  Vectorized join: qualifying (node, clique)
+        # candidates sort by count (best first), each node keeps its single
+        # best clique, and per-clique admission applies the remaining (2a)
+        # headroom as a quota via grouped ranks — no per-entry Python.
         counts = _neighbor_label_counts(net, labels)
         k = counts.shape[1]
         if k:
             sizes = np.bincount(labels[labels >= 0], minlength=k)
             coo = counts.tocoo()
-            for v, c, cnt in zip(coo.row, coo.col, coo.data):
-                if labels[v] != c and cnt > join_threshold and labels[v] == SPARSE:
-                    if sizes[c] + 1 <= max_size and cnt >= need_inside:
-                        labels[v] = c
-                        sizes[c] += 1
-                        changed = True
+            v_arr = coo.row.astype(np.int64)
+            c_arr = coo.col.astype(np.int64)
+            cnt_arr = coo.data.astype(np.int64)
+            cand = (
+                (labels[v_arr] == SPARSE)
+                & (cnt_arr > join_threshold)
+                & (cnt_arr >= need_inside)
+            )
+            if cand.any():
+                quota = np.floor(max_size - sizes).astype(np.int64)
+                joined_v, joined_c = _admit_joins(
+                    v_arr[cand], c_arr[cand], cnt_arr[cand], quota
+                )
+                if joined_v.size:
+                    labels[joined_v] = joined_c
+                    changed = True
         # (2a) shed lowest-connectivity members from oversized cliques.
         counts = _neighbor_label_counts(net, labels)
         k = counts.shape[1]
@@ -200,11 +264,9 @@ def _clusters_from_friend_edges(
 def _friend_degree(net: BroadcastNetwork, friend_edge_mask: np.ndarray) -> np.ndarray:
     edges = net.undirected_edges()
     fe = edges[friend_edge_mask]
-    deg = np.zeros(net.n, dtype=np.int64)
-    if fe.size:
-        np.add.at(deg, fe[:, 0], 1)
-        np.add.at(deg, fe[:, 1], 1)
-    return deg
+    if not fe.size:
+        return np.zeros(net.n, dtype=np.int64)
+    return np.bincount(fe.ravel(), minlength=net.n).astype(np.int64)
 
 
 def _build(

@@ -44,9 +44,19 @@ __all__ = [
 GraphInput = tuple[int, np.ndarray]
 
 
-def _dedup(n: int, edges: Iterable[tuple[int, int]]) -> GraphInput:
-    arr = np.array([(min(u, v), max(u, v)) for u, v in edges if u != v], dtype=np.int64)
-    arr = arr.reshape(-1, 2)
+def _dedup(n: int, edges: Iterable[tuple[int, int]] | np.ndarray) -> GraphInput:
+    if isinstance(edges, np.ndarray):
+        arr = edges.reshape(-1, 2).astype(np.int64, copy=False)
+        arr = arr[arr[:, 0] != arr[:, 1]]
+        arr = np.stack(
+            [np.minimum(arr[:, 0], arr[:, 1]), np.maximum(arr[:, 0], arr[:, 1])],
+            axis=1,
+        )
+    else:
+        arr = np.array(
+            [(min(u, v), max(u, v)) for u, v in edges if u != v], dtype=np.int64
+        )
+        arr = arr.reshape(-1, 2)
     if arr.size:
         arr = np.unique(arr, axis=0)
     return n, arr
@@ -139,41 +149,67 @@ def clique_blob_graph(
     """
     rng = np.random.default_rng(seed)
     n = num_cliques * clique_size
-    edges: set[tuple[int, int]] = set()
-    for k in range(num_cliques):
-        base = k * clique_size
-        members = np.arange(base, base + clique_size)
-        inside = [
-            (int(members[i]), int(members[j]))
-            for i in range(clique_size)
-            for j in range(i + 1, clique_size)
-        ]
-        if anti_edges_per_clique > 0 and inside:
+    # Inside edges: one (i, j) template per clique (``triu_indices`` is
+    # row-major — the same lexicographic order the old per-pair loop
+    # produced, so the anti-edge draws hit the same pairs), minus a
+    # without-replacement keep-mask of dropped anti-edges.
+    iu, jv = np.triu_indices(clique_size, k=1)
+    per_clique = iu.size
+    bases = (np.arange(num_cliques, dtype=np.int64) * clique_size)[:, None]
+    keep = np.ones((num_cliques, per_clique), dtype=bool)
+    if anti_edges_per_clique > 0 and per_clique:
+        for k in range(num_cliques):
             drop_idx = rng.choice(
-                len(inside), size=min(anti_edges_per_clique, len(inside)), replace=False
+                per_clique,
+                size=min(anti_edges_per_clique, per_clique),
+                replace=False,
             )
-            drop = {inside[i] for i in drop_idx}
-        else:
-            drop = set()
-        edges.update(e for e in inside if e not in drop)
-    # External edges between distinct cliques.
-    for k in range(num_cliques):
-        added = 0
-        guard = 0
-        while added < external_edges_per_clique and num_cliques > 1 and guard < 50 * (
-            external_edges_per_clique + 1
-        ):
-            guard += 1
-            u = int(rng.integers(k * clique_size, (k + 1) * clique_size))
-            other = int(rng.integers(0, num_cliques - 1))
-            if other >= k:
-                other += 1
-            v = int(rng.integers(other * clique_size, (other + 1) * clique_size))
-            e = (min(u, v), max(u, v))
-            if e not in edges:
-                edges.add(e)
-                added += 1
-    return _dedup(n, edges)
+            keep[k, drop_idx] = False
+    parts = [
+        np.stack(
+            [
+                np.broadcast_to(bases + iu, keep.shape)[keep],
+                np.broadcast_to(bases + jv, keep.shape)[keep],
+            ],
+            axis=1,
+        )
+    ]
+    # External edges between distinct cliques: batched candidate draws per
+    # clique, deduplicated against the already-accepted cross edges, until
+    # the quota is met (guard-bounded like the old rejection loop).  Cross
+    # edges can never collide with inside edges, so only the accepted
+    # cross-edge key set matters.
+    if external_edges_per_clique > 0 and num_cliques > 1:
+        accepted = np.empty(0, dtype=np.int64)
+        for k in range(num_cliques):
+            added = 0
+            guard = 0
+            while added < external_edges_per_clique and guard < 50:
+                guard += 1
+                need = external_edges_per_clique - added
+                m = 2 * need + 4
+                u = rng.integers(
+                    k * clique_size, (k + 1) * clique_size, size=m, dtype=np.int64
+                )
+                other = rng.integers(0, num_cliques - 1, size=m, dtype=np.int64)
+                other[other >= k] += 1
+                v = other * clique_size + rng.integers(
+                    0, clique_size, size=m, dtype=np.int64
+                )
+                key = np.minimum(u, v) * n + np.maximum(u, v)
+                # Order-preserving in-batch dedup + reject already-accepted.
+                _, first = np.unique(key, return_index=True)
+                fresh_mask = np.zeros(m, dtype=bool)
+                fresh_mask[first] = True
+                fresh_mask &= ~np.isin(key, accepted)
+                key = key[fresh_mask][:need]
+                accepted = np.concatenate([accepted, key])
+                added += key.size
+        if accepted.size:
+            parts.append(
+                np.stack([accepted // n, accepted % n], axis=1).astype(np.int64)
+            )
+    return _dedup(n, np.concatenate(parts))
 
 
 def planted_acd_graph(
@@ -199,33 +235,44 @@ def planted_acd_graph(
     rng = np.random.default_rng(seed)
     n_dense = num_cliques * clique_size
     n = n_dense + sparse_nodes
-    edges: set[tuple[int, int]] = set()
-    for k in range(num_cliques):
-        base = k * clique_size
-        for i in range(clique_size):
-            for j in range(i + 1, clique_size):
-                if rng.random() >= eps / 8.0:
-                    edges.add((base + i, base + j))
+    parts: list[np.ndarray] = []
+    # Internal edges: (num_cliques × pairs) keep-mask in one draw.  The
+    # draw order (clique-major, pairs lexicographic) matches the old
+    # per-pair loop, so internal edges are stream-identical to it.
+    iu, jv = np.triu_indices(clique_size, k=1)
+    if iu.size and num_cliques:
+        keep = rng.random((num_cliques, iu.size)) >= eps / 8.0
+        bases = (np.arange(num_cliques, dtype=np.int64) * clique_size)[:, None]
+        parts.append(
+            np.stack(
+                [
+                    np.broadcast_to(bases + iu, keep.shape)[keep],
+                    np.broadcast_to(bases + jv, keep.shape)[keep],
+                ],
+                axis=1,
+            )
+        )
     # Cross edges: per-node quota keeps external degrees ≤ ε·s/4.
     ext_quota = max(0, int(eps * clique_size / 8.0))
-    if num_cliques > 1:
-        for v in range(n_dense):
-            k = v // clique_size
-            for _ in range(ext_quota):
-                other = int(rng.integers(0, num_cliques - 1))
-                if other >= k:
-                    other += 1
-                u = int(rng.integers(other * clique_size, (other + 1) * clique_size))
-                edges.add((min(u, v), max(u, v)))
+    if num_cliques > 1 and ext_quota and n_dense:
+        v = np.repeat(np.arange(n_dense, dtype=np.int64), ext_quota)
+        k = v // clique_size
+        other = rng.integers(0, num_cliques - 1, size=v.size, dtype=np.int64)
+        other[other >= k] += 1
+        u = other * clique_size + rng.integers(
+            0, clique_size, size=v.size, dtype=np.int64
+        )
+        parts.append(np.stack([v, u], axis=1))
     # Sparse periphery: wires only among itself so dense degrees stay put.
     if sparse_nodes > 1:
         cap = min(sparse_degree, sparse_nodes - 1)
-        for v in range(n_dense, n):
-            for _ in range(cap):
-                u = n_dense + int(rng.integers(0, sparse_nodes))
-                if u != v:
-                    edges.add((min(u, v), max(u, v)))
-    return _dedup(n, edges)
+        if cap > 0:
+            v = np.repeat(np.arange(n_dense, n, dtype=np.int64), cap)
+            u = n_dense + rng.integers(0, sparse_nodes, size=v.size, dtype=np.int64)
+            parts.append(np.stack([v, u], axis=1))
+    if not parts:
+        return empty_graph(n)
+    return _dedup(n, np.concatenate(parts))
 
 
 def geometric_graph(n: int, radius: float, seed: int = 0) -> GraphInput:

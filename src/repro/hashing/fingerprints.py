@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["hash_u64", "hash_array_u64", "minwise_fingerprints"]
+__all__ = ["hash_u64", "hash_array_u64", "mix_u64", "minwise_fingerprints"]
 
 _MASK64 = (1 << 64) - 1
 # splitmix64 constants — a well-tested 64-bit mixer.
@@ -36,14 +36,22 @@ def hash_u64(value: int, salt: int = 0) -> int:
     return (z ^ (z >> 31)) & _MASK64
 
 
-def hash_array_u64(values: np.ndarray, salt: int = 0) -> np.ndarray:
-    """Vectorized splitmix64 over an int array (returns uint64)."""
-    z = (values.astype(np.uint64) + np.uint64((_GAMMA * (int(salt) + 1)) & _MASK64))
+def mix_u64(z: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer over an (any-shape) uint64 array.  The
+    building block shared by :func:`hash_array_u64` and the counter-mode
+    batch expansion in :mod:`repro.hashing.prg`."""
     with np.errstate(over="ignore"):
         z = (z ^ (z >> np.uint64(30))) * np.uint64(_MIX1)
         z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX2)
         z = z ^ (z >> np.uint64(31))
     return z
+
+
+def hash_array_u64(values: np.ndarray, salt: int = 0) -> np.ndarray:
+    """Vectorized splitmix64 over an int array (returns uint64)."""
+    with np.errstate(over="ignore"):
+        z = values.astype(np.uint64) + np.uint64((_GAMMA * (int(salt) + 1)) & _MASK64)
+    return mix_u64(z)
 
 
 def minwise_fingerprints(

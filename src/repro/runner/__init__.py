@@ -12,7 +12,15 @@ See DESIGN.md ("Experiment runner") for the architecture notes and
 EXPERIMENTS.md for the spec files that drive ``repro bench``.
 """
 
-from repro.runner.aggregate import fit_rounds, group_by, mean_by, series, summarize_payloads
+from repro.runner.aggregate import (
+    fit_rounds,
+    group_by,
+    mean_by,
+    mean_timings,
+    series,
+    summarize_payloads,
+)
+from repro.runner.benchtrack import append_entry, load_trajectory
 from repro.runner.execute import run_trial
 from repro.runner.runner import ParallelRunner, RunReport, default_workers
 from repro.runner.spec import (
@@ -32,12 +40,15 @@ __all__ = [
     "RunReport",
     "TrialResult",
     "TrialSpec",
+    "append_entry",
     "default_workers",
     "expand_matrix",
     "fit_rounds",
     "group_by",
     "load_matrix",
+    "load_trajectory",
     "mean_by",
+    "mean_timings",
     "run_trial",
     "series",
     "spec_key",

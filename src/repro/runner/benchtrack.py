@@ -1,0 +1,83 @@
+"""Perf trajectories: the ``BENCH_*.json`` artifacts at the repo root.
+
+A *trajectory* is an append-only JSON file recording how the wall-clock
+cost of a benchmarked path evolves across commits/runs — the
+accountability artifact behind "make a hot path measurably faster"
+(ROADMAP): every optimization PR appends an entry with its before/after
+numbers, and CI re-measures and uploads the file so regressions are
+visible in the artifact history.
+
+Schema::
+
+    {"benchmark": "<name>", "entries": [
+        {"label": ..., "recorded_at": "<iso8601>", ...measurements...},
+        ...
+    ]}
+
+Entries are free-form dicts beyond ``label``/``recorded_at`` — each
+benchmark decides what it measures (phase timings, engine names,
+speedups).  :func:`append_entry` is atomic enough for single-writer use
+(bench processes and CI steps run one at a time).
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = ["load_trajectory", "append_entry"]
+
+
+def _read(path: Path) -> tuple[dict[str, Any] | None, bool]:
+    """(trajectory, corrupt): the parsed file, or (None, True) when the
+    file exists but is not a valid trajectory."""
+    if not path.exists():
+        return None, False
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, OSError):
+        return None, True
+    if isinstance(data, dict) and isinstance(data.get("entries"), list):
+        data.setdefault("benchmark", path.stem)
+        return data, False
+    return None, True
+
+
+def load_trajectory(path: str | Path) -> dict[str, Any]:
+    """The trajectory at ``path`` ({"benchmark": ..., "entries": []} when
+    absent or unreadable — a fresh view, never an error)."""
+    p = Path(path)
+    data, _ = _read(p)
+    return data if data is not None else {"benchmark": p.stem, "entries": []}
+
+
+def append_entry(
+    path: str | Path, entry: Mapping[str, Any], label: str | None = None
+) -> dict[str, Any]:
+    """Append one timestamped entry to the trajectory at ``path`` and
+    write it back.  A corrupt existing file is moved aside to
+    ``<name>.corrupt`` (never silently overwritten — the history is the
+    point of the artifact) and a fresh trajectory started.  Returns the
+    full trajectory."""
+    p = Path(path)
+    data, corrupt = _read(p)
+    if corrupt:
+        backup = p.with_name(p.name + ".corrupt")
+        i = 2
+        while backup.exists():
+            backup = p.with_name(f"{p.name}.corrupt-{i}")
+            i += 1
+        p.replace(backup)
+    if data is None:
+        data = {"benchmark": p.stem, "entries": []}
+    rec: dict[str, Any] = {
+        "label": label if label is not None else entry.get("label", "run"),
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    rec.update({k: v for k, v in entry.items() if k != "label"})
+    data["entries"].append(rec)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    return data

@@ -63,8 +63,12 @@ def _config_for(spec: TrialSpec) -> ColoringConfig:
     return base(seed=spec.algo_seed(), **{k: v for k, v in spec.overrides})
 
 
-def _measure(spec: TrialSpec) -> dict[str, Any]:
-    """Execute the algorithm named by the spec; return the payload."""
+def _measure(spec: TrialSpec) -> tuple[dict[str, Any], dict[str, float]]:
+    """Execute the algorithm named by the spec; return (payload, timings).
+
+    The payload is deterministic; ``timings`` (wall-clock seconds per
+    phase, broadcast algorithm only) ride alongside for the perf
+    trajectories and never enter the payload."""
     graph = make_graph(spec.family, spec.n, spec.avg_degree, spec.graph_seed())
     algo = None
     if spec.algorithm == "broadcast":
@@ -81,8 +85,10 @@ def _measure(spec: TrialSpec) -> dict[str, Any]:
         "m": int(net.m),
         "delta": int(net.delta),
     }
+    timings: dict[str, float] = {}
     if algo is not None:
         res = algo.run()
+        timings = dict(res.phase_seconds)
         payload.update(
             rounds=int(res.rounds_algorithm),
             rounds_total=int(res.rounds_total),
@@ -122,7 +128,7 @@ def _measure(spec: TrialSpec) -> dict[str, Any]:
     for value in payload.values():
         if isinstance(value, float) and not math.isfinite(value):
             raise ValueError(f"non-finite measurement in payload: {payload}")
-    return payload
+    return payload, timings
 
 
 def run_trial(spec: TrialSpec, timeout_s: float | None = None) -> TrialResult:
@@ -130,10 +136,11 @@ def run_trial(spec: TrialSpec, timeout_s: float | None = None) -> TrialResult:
     start = time.perf_counter()
     try:
         with _alarm(timeout_s):
-            payload = _measure(spec)
+            payload, timings = _measure(spec)
         return TrialResult(
             spec=spec, status="ok", payload=payload,
             elapsed_s=time.perf_counter() - start,
+            timings=timings,
         )
     except TrialTimeout as exc:
         return TrialResult(

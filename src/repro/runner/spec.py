@@ -134,6 +134,11 @@ class TrialResult:
     error: str | None = None
     cached: bool = False
     """True when this result was served from the store, not computed."""
+    timings: dict[str, float] = field(default_factory=dict)
+    """Wall-clock seconds per algorithm phase (empty for baselines).  Like
+    ``elapsed_s`` this lives *outside* the payload: it is machine-dependent
+    and never feeds deterministic aggregation — only the perf trajectories
+    (``BENCH_*.json``, see EXPERIMENTS.md)."""
 
     @property
     def key(self) -> str:
@@ -153,6 +158,7 @@ class TrialResult:
             "payload": self.payload,
             "elapsed_s": round(float(self.elapsed_s), 6),
             "error": self.error,
+            "timings": {k: round(float(v), 6) for k, v in self.timings.items()},
         }
 
     @classmethod
@@ -163,6 +169,9 @@ class TrialResult:
             payload=dict(rec.get("payload") or {}),
             elapsed_s=float(rec.get("elapsed_s", 0.0)),
             error=rec.get("error"),
+            timings={
+                str(k): float(v) for k, v in dict(rec.get("timings") or {}).items()
+            },
         )
 
 

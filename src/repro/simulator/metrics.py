@@ -10,6 +10,7 @@ the experiment harness prints.
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -46,7 +47,9 @@ class RoundMetrics:
 
     def __init__(self) -> None:
         self.phases: dict[str, PhaseStats] = defaultdict(PhaseStats)
+        self.phase_seconds: dict[str, float] = defaultdict(float)
         self._current_phase = "unphased"
+        self._phase_started: float | None = None
         self.observers: list = []
 
     def _notify(self, phase: str, num_messages: int) -> None:
@@ -55,7 +58,20 @@ class RoundMetrics:
 
     # -- phase management -------------------------------------------------
     def begin_phase(self, name: str) -> None:
+        """Switch the current phase, accruing wall-clock time to the one
+        being left (the perf trajectories in BENCH_*.json consume these
+        timings — rounds/bits accounting is unaffected)."""
+        self.stop_timer()
         self._current_phase = name
+        self._phase_started = time.perf_counter()
+
+    def stop_timer(self) -> None:
+        """Close the open phase timer (call when a run finishes)."""
+        if self._phase_started is not None:
+            self.phase_seconds[self._current_phase] += (
+                time.perf_counter() - self._phase_started
+            )
+            self._phase_started = None
 
     @property
     def current_phase(self) -> str:
@@ -137,4 +153,6 @@ class RoundMetrics:
                 dst.messages += stats.messages
                 dst.total_bits += stats.total_bits
                 dst.max_message_bits = max(dst.max_message_bits, stats.max_message_bits)
+            for name, secs in src.phase_seconds.items():
+                out.phase_seconds[name] += secs
         return out

@@ -146,6 +146,42 @@ class TestDecompositionObject:
         assert acd.cliques == []
 
 
+class TestJoinAdmission:
+    """The vectorized (2c) quota admission (`_admit_joins`)."""
+
+    def _admit(self, cands, quota):
+        from repro.decomposition.acd import _admit_joins
+
+        v = np.array([c[0] for c in cands], dtype=np.int64)
+        c = np.array([c[1] for c in cands], dtype=np.int64)
+        cnt = np.array([c[2] for c in cands], dtype=np.int64)
+        jv, jc = _admit_joins(v, c, cnt, np.asarray(quota, dtype=np.int64))
+        return dict(zip(jv.tolist(), jc.tolist()))
+
+    def test_best_count_wins_under_quota(self):
+        joined = self._admit([(1, 0, 5), (2, 0, 7), (3, 0, 6)], [2])
+        assert joined == {2: 0, 3: 0}
+
+    def test_fallback_to_next_clique_when_best_is_full(self):
+        # Node 1's best clique (0) has no headroom; the old sequential scan
+        # joined it to clique 1 instead — so must the vectorized join.
+        joined = self._admit([(1, 0, 6), (1, 1, 5)], [0, 2])
+        assert joined == {1: 1}
+
+    def test_fallback_after_losing_rank_race(self):
+        # Clique 0 has one slot: node 2 (count 7) takes it; node 1 falls
+        # back to clique 1.
+        joined = self._admit([(1, 0, 6), (2, 0, 7), (1, 1, 4)], [1, 1])
+        assert joined == {2: 0, 1: 1}
+
+    def test_no_admission_when_all_full(self):
+        assert self._admit([(1, 0, 6), (2, 1, 5)], [0, 0]) == {}
+
+    def test_each_node_joins_at_most_once(self):
+        joined = self._admit([(1, 0, 6), (1, 1, 6), (1, 2, 6)], [3, 3, 3])
+        assert len(joined) == 1
+
+
 class TestValidator:
     def test_flags_oversized_clique(self, cfg):
         # Claim a huge "clique" over a sparse gnp graph: must fail 2a/2b.
