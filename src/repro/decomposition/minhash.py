@@ -8,6 +8,13 @@ one ``O(log n)``-bit broadcast, which is how the almost-clique
 decomposition achieves its O(ε⁻⁴)-round budget (Lemma 2.5, following the
 [FGH+23] strategy of packing many tiny sketches per message).
 
+The same packing idea drives the similarity estimator itself (DESIGN.md
+§4): fingerprints are packed ⌊64/b⌋ samples per uint64 word, node-major,
+and per edge the two packed rows are XOR-ed and the zero b-bit fields
+counted with a branch-free SWAR reduction — ``engine="packed"``, the
+default.  ``engine="unpacked"`` keeps the (T × m) fingerprint-matrix
+comparison as the reference; both return bit-identical estimates.
+
 The hash functions are shared randomness: all nodes derive ``h_j`` from the
 public seed and the sample index — exactly the kind of shared coin the
 decomposition papers assume (or realize with one extra seed-broadcast
@@ -16,14 +23,25 @@ round, which we account for).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.hashing.fingerprints import minwise_fingerprints
+from repro.hashing.fingerprints import minwise_fingerprints, pack_fingerprints
 from repro.simulator.network import BroadcastNetwork
 
-__all__ = ["SimilaritySketch", "compute_sketches", "estimate_edge_similarity"]
+__all__ = [
+    "SKETCH_ENGINES",
+    "SimilaritySketch",
+    "compute_sketches",
+    "estimate_edge_similarity",
+]
+
+SKETCH_ENGINES = ("packed", "unpacked")
+
+# Edges per chunk in the packed estimator: bounds every temporary to
+# (chunk × words) uint64, so no (T × m) matrix is ever materialized.
+_EDGE_CHUNK = 1 << 18
 
 
 @dataclass
@@ -34,6 +52,16 @@ class SimilaritySketch:
     bits_per_sample: int
     samples: int
     rounds_used: int
+    engine: str = "packed"
+    phase: str = "acd/sketch"
+    _packed: np.ndarray | None = field(default=None, repr=False)  # (n, words) uint64
+
+    @property
+    def packed(self) -> np.ndarray:
+        """Node-major ``(n, words)`` packed fingerprint words (lazy)."""
+        if self._packed is None:
+            self._packed = pack_fingerprints(self.fingerprints, self.bits_per_sample)
+        return self._packed
 
 
 def compute_sketches(
@@ -42,21 +70,64 @@ def compute_sketches(
     bits: int,
     salt: int,
     phase: str = "acd/sketch",
+    engine: str = "packed",
 ) -> SimilaritySketch:
     """Compute fingerprints and account the broadcast rounds needed to
     exchange them under the network's bandwidth cap."""
-    fps = minwise_fingerprints(
-        net.indptr, net.indices, net.n, num_samples=num_samples, bits=bits, salt=salt
-    )
+    if engine not in SKETCH_ENGINES:
+        raise ValueError(f"unknown sketch engine: {engine!r} (use {SKETCH_ENGINES})")
+    with net.metrics.time_phase(phase):
+        fps = minwise_fingerprints(
+            net.indptr, net.indices, net.n, num_samples=num_samples, bits=bits, salt=salt
+        )
+        sketch = SimilaritySketch(
+            fingerprints=fps,
+            bits_per_sample=bits,
+            samples=num_samples,
+            rounds_used=0,
+            engine=engine,
+            phase=phase,
+        )
+        if engine == "packed":
+            sketch.packed  # materialize inside the timed region
+    # Closed-form round/bit accounting: ``full`` saturated rounds of
+    # ``per_round`` samples plus one remainder round — no python loop.
     budget = net.bandwidth_bits or (64 * max(1, num_samples))
     per_round = max(1, budget // bits)
-    rounds = int(np.ceil(num_samples / per_round))
-    for r in range(rounds):
-        batch = min(per_round, num_samples - r * per_round)
-        net.account_vector_round(net.n, batch * bits, phase=phase)
-    return SimilaritySketch(
-        fingerprints=fps, bits_per_sample=bits, samples=num_samples, rounds_used=rounds
-    )
+    full, rem = divmod(num_samples, per_round)
+    net.account_vector_rounds(full, net.n, per_round * bits, phase=phase)
+    if rem:
+        net.account_vector_round(net.n, rem * bits, phase=phase)
+    sketch.rounds_used = full + (1 if rem else 0)
+    return sketch
+
+
+def _swar_match_counts(
+    packed: np.ndarray, edges: np.ndarray, bits: int, samples: int
+) -> np.ndarray:
+    """Per-edge count of agreeing samples from the packed words.
+
+    Per edge: XOR the two (words,)-rows, OR-fold each b-bit field onto its
+    low bit (b−1 shift-ORs — branch-free, exact for any b since every
+    shifted source bit stays inside its own field), mask to the field-low
+    bits, popcount, and sum over words.  That counts *mismatching* fields;
+    padding fields XOR to zero and contribute none, so
+    ``matches = T − mismatches`` is exact.
+    """
+    u64 = np.uint64
+    fields = 64 // bits
+    low_bits = u64(sum(1 << (f * bits) for f in range(fields)))
+    matches = np.empty(edges.shape[0], dtype=np.int64)
+    for e0 in range(0, edges.shape[0], _EDGE_CHUNK):
+        e1 = min(e0 + _EDGE_CHUNK, edges.shape[0])
+        x = packed[edges[e0:e1, 0]] ^ packed[edges[e0:e1, 1]]
+        nz = x.copy()
+        for k in range(1, bits):
+            nz |= x >> u64(k)
+        nz &= low_bits
+        mism = np.bitwise_count(nz).sum(axis=1, dtype=np.int64)
+        matches[e0:e1] = samples - mism
+    return matches
 
 
 def estimate_edge_similarity(
@@ -68,13 +139,26 @@ def estimate_edge_similarity(
     empirical rate ``r``, then ``Ĵ = (r − 2^{-b}) / (1 − 2^{-b})`` clipped
     to [0, 1].  Each endpoint of an edge computes this locally from the
     fingerprints it received — no extra rounds.
+
+    Engine dispatch (``sketch.engine``): "packed" XOR-and-SWAR-counts the
+    packed word rows chunk-by-chunk; "unpacked" compares the raw (T × m)
+    fingerprint gather.  Both produce the same integer match counts, hence
+    bit-identical estimates.
     """
     edges = net.undirected_edges()
     if edges.size == 0:
         return np.empty(0, dtype=np.float64)
-    fps = sketch.fingerprints
-    eq = fps[:, edges[:, 0]] == fps[:, edges[:, 1]]
-    rate = eq.mean(axis=0)
-    floor = 2.0 ** (-sketch.bits_per_sample)
-    est = (rate - floor) / (1.0 - floor)
-    return np.clip(est, 0.0, 1.0)
+    with net.metrics.time_phase(sketch.phase):
+        samples = sketch.samples
+        if sketch.engine == "packed":
+            matches = _swar_match_counts(
+                sketch.packed, edges, sketch.bits_per_sample, samples
+            )
+        else:
+            fps = sketch.fingerprints
+            eq = fps[:, edges[:, 0]] == fps[:, edges[:, 1]]
+            matches = eq.sum(axis=0, dtype=np.int64)
+        rate = matches / samples
+        floor = 2.0 ** (-sketch.bits_per_sample)
+        est = (rate - floor) / (1.0 - floor)
+        return np.clip(est, 0.0, 1.0)

@@ -15,6 +15,8 @@ from repro.hashing.fingerprints import (
     hash_u64,
     hash_array_u64,
     minwise_fingerprints,
+    pack_fingerprints,
+    packed_words_per_node,
 )
 
 __all__ = [
@@ -24,4 +26,6 @@ __all__ = [
     "hash_u64",
     "hash_array_u64",
     "minwise_fingerprints",
+    "pack_fingerprints",
+    "packed_words_per_node",
 ]

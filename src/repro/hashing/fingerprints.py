@@ -3,9 +3,12 @@
 The BCONGEST almost-clique decomposition (Lemma 2.5, implemented per
 [FGH+23]'s strategy) needs every pair of adjacent nodes to estimate the
 similarity of their neighborhoods from broadcast-size sketches.  We use
-b-bit minwise hashing: per sample ``j`` a shared 64-bit hash ``h_j`` orders
-the vertex universe; each node's fingerprint is the low ``b`` bits of the
-minimum hash over its closed neighborhood.  Two nodes' fingerprints agree
+b-bit minwise hashing: per sample ``j`` a shared hash ``h_j`` (the top 32
+bits of splitmix64) orders the vertex universe; each node's fingerprint is
+the low ``b`` bits of the minimum hash over its closed neighborhood —
+computed batched over sample chunks, see :func:`minwise_fingerprints`.
+:func:`pack_fingerprints` packs the samples ⌊64/b⌋ per uint64 word for the
+SWAR similarity estimator.  Two nodes' fingerprints agree
 with probability ``J + (1-J)·2^{-b}`` where ``J`` is the Jaccard similarity
 of the closed neighborhoods — the standard estimator, which
 :func:`repro.decomposition.minhash.estimate_edge_similarity` inverts.
@@ -18,7 +21,14 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["hash_u64", "hash_array_u64", "mix_u64", "minwise_fingerprints"]
+__all__ = [
+    "hash_u64",
+    "hash_array_u64",
+    "mix_u64",
+    "minwise_fingerprints",
+    "pack_fingerprints",
+    "packed_words_per_node",
+]
 
 _MASK64 = (1 << 64) - 1
 # splitmix64 constants — a well-tested 64-bit mixer.
@@ -54,6 +64,39 @@ def hash_array_u64(values: np.ndarray, salt: int = 0) -> np.ndarray:
     return mix_u64(z)
 
 
+# Per-chunk gather budget for the batched fingerprint kernel: chunks are
+# sized so a chunk's gather temporary stays around this many bytes.
+_CHUNK_BYTES = 32 << 20
+# The padded-dense path gathers n·(Δ+1) elements per sample; fall back to
+# the CSR reduceat path when the padding waste over nnz+n exceeds this
+# factor (skewed degree sequences) or the padded table itself is huge.
+_PAD_WASTE_LIMIT = 4
+_PAD_ELEMENT_CAP = 1 << 25
+
+
+def _padded_closed_adjacency(
+    indptr: np.ndarray, indices: np.ndarray, n: int
+) -> tuple[np.ndarray, int] | None:
+    """Flat ``(n · width)`` closed-adjacency table, each node's row
+    ``[v, neighbors..., v, v, ...]`` padded *with the node itself* — extra
+    copies of v never change a closed-neighborhood min, so no sentinel is
+    needed.  Returns None when padding to ``width = Δ+1`` would waste too
+    much over the CSR size (the reduceat path wins there)."""
+    degrees = np.diff(indptr)
+    width = int(degrees.max()) + 1 if n else 1
+    total = n * width
+    if total > _PAD_ELEMENT_CAP or total > max(
+        _PAD_WASTE_LIMIT * (indices.size + n), 1 << 16
+    ):
+        return None
+    padded = np.repeat(np.arange(n, dtype=np.int64)[:, None], width, axis=1)
+    if indices.size:
+        rows = np.repeat(np.arange(n), degrees)
+        cols = np.arange(indices.size) - np.repeat(indptr[:-1], degrees) + 1
+        padded[rows, cols] = indices
+    return padded.ravel(), width
+
+
 def minwise_fingerprints(
     indptr: np.ndarray,
     indices: np.ndarray,
@@ -63,6 +106,27 @@ def minwise_fingerprints(
     salt: int = 0,
 ) -> np.ndarray:
     """b-bit minwise fingerprints of the *closed* neighborhoods.
+
+    The sample loop is batched: a chunk of Tc hash functions is one
+    vectorized splitmix64 evaluation over a ``(Tc, n)`` salt×node grid
+    (per-sample salts broadcast down the rows), and the per-neighborhood
+    minima of a whole chunk are folded by array kernels instead of T
+    python-level iterations.  Two equivalent gather strategies are chosen
+    from the graph's shape (identical outputs either way):
+
+    * *padded-dense* — gather each sample's hashes through a self-padded
+      ``(n, Δ+1)`` closed-adjacency table and take one contiguous
+      ``min(axis=1)`` (SIMD-friendly; the default for near-regular
+      degree sequences, where padding waste is small);
+    * *CSR reduceat* — gather ``h.take(indices, axis=1)`` once per chunk
+      and fold the node segments with one axis-1 ``minimum.reduceat``
+      (no padding waste; used for skewed degree sequences).
+
+    Hashes are the top 32 bits of splitmix64: halving the lane width
+    halves gather traffic through the hot path, and at simulable n the
+    probability that a 32-bit tie involves two distinct neighborhood
+    members in any sample is ≈ |N[u] ∪ N[v]|²/2³³ — negligible against
+    the 2^{-b} collision floor the estimator already debiases.
 
     Parameters
     ----------
@@ -81,17 +145,71 @@ def minwise_fingerprints(
     """
     if not 1 <= bits <= 16:
         raise ValueError("bits must be in [1, 16]")
-    node_ids = np.arange(n, dtype=np.uint64)
-    has_nbrs = np.diff(indptr) > 0
     fps = np.empty((num_samples, n), dtype=np.uint16)
-    mask = np.uint64((1 << bits) - 1)
-    for j in range(num_samples):
-        h = hash_array_u64(node_ids, salt=salt * num_samples + j)
-        # Min over the closed neighborhood N[v] = {v} ∪ N(v).
-        m = h.copy()
-        if indices.size:
-            gathered = h[indices]
-            mins = np.minimum.reduceat(gathered, indptr[:-1][has_nbrs])
-            m[has_nbrs] = np.minimum(m[has_nbrs], mins)
-        fps[j] = (m & mask).astype(np.uint16)
+    if n == 0 or num_samples == 0:
+        return fps
+    node_ids = np.arange(n, dtype=np.uint64)
+    mask = np.uint32((1 << bits) - 1)
+    base = int(salt) * int(num_samples)
+    pad = _padded_closed_adjacency(indptr, indices, n)
+    if pad is not None:
+        flat, width = pad
+        row_bytes = 4 * n
+    else:
+        has_nbrs = np.diff(indptr) > 0
+        starts = indptr[:-1][has_nbrs]
+        row_bytes = 4 * max(int(indices.size), n)
+    chunk = int(np.clip(_CHUNK_BYTES // row_bytes, 1, num_samples))
+    for j0 in range(0, num_samples, chunk):
+        j1 = min(j0 + chunk, num_samples)
+        # salt j enters splitmix64 as an additive offset γ·(salt+1); the
+        # whole chunk shares one vectorized mix.
+        salts = np.arange(base + j0 + 1, base + j1 + 1, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            offsets = salts * np.uint64(_GAMMA)
+            h64 = mix_u64(node_ids[None, :] + offsets[:, None])
+        h = (h64 >> np.uint64(32)).astype(np.uint32)
+        if pad is not None:
+            for t in range(j1 - j0):
+                mins = h[t].take(flat).reshape(n, width).min(axis=1)
+                fps[j0 + t] = (mins & mask).astype(np.uint16)
+        else:
+            # Min over the closed neighborhood N[v] = {v} ∪ N(v).
+            m = h.copy()
+            if indices.size:
+                gathered = h.take(indices, axis=1)
+                mins = np.minimum.reduceat(gathered, starts, axis=1)
+                m[:, has_nbrs] = np.minimum(m[:, has_nbrs], mins)
+            fps[j0:j1] = (m & mask).astype(np.uint16)
     return fps
+
+
+def packed_words_per_node(num_samples: int, bits: int) -> int:
+    """Words per node of the packed layout: ⌈T / ⌊64/b⌋⌉."""
+    fields = 64 // bits
+    return -(-int(num_samples) // fields)
+
+
+def pack_fingerprints(fps: np.ndarray, bits: int) -> np.ndarray:
+    """Pack a ``(T, n)`` b-bit fingerprint matrix into ``(n, words)``
+    uint64 words, ⌊64/b⌋ samples per word, node-major so each node's row
+    is contiguous (per-edge XOR in the SWAR estimator streams two rows).
+
+    Sample j lands in word ``j // fields`` at bit offset
+    ``(j % fields) * bits``; unused tail fields (and the ``64 % b``
+    leftover bits when b ∤ 64) stay zero, so XOR-ing two packed rows
+    yields zero in every non-sample field.
+    """
+    if not 1 <= bits <= 16:
+        raise ValueError("bits must be in [1, 16]")
+    num_samples, n = fps.shape
+    fields = 64 // bits
+    words = packed_words_per_node(num_samples, bits)
+    if fps.size and int(fps.max()) >> bits:
+        raise ValueError(f"fingerprint value exceeds {bits} bits")
+    padded = np.zeros((n, words * fields), dtype=np.uint64)
+    padded[:, :num_samples] = fps.T
+    shifts = (np.arange(fields, dtype=np.uint64) * np.uint64(bits))[None, None, :]
+    return np.bitwise_or.reduce(
+        padded.reshape(n, words, fields) << shifts, axis=2
+    )

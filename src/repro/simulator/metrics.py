@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import time
 from collections import defaultdict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Iterator
 
 __all__ = ["RoundMetrics", "PhaseStats"]
 
@@ -77,6 +78,25 @@ class RoundMetrics:
     def current_phase(self) -> str:
         return self._current_phase
 
+    @contextmanager
+    def time_phase(self, name: str) -> Iterator[None]:
+        """Accrue the wall-clock of the ``with`` body to ``name`` without
+        disturbing the surrounding phase: the outer timer pauses on entry
+        and resumes on exit, so nested timings (e.g. ``acd/sketch`` inside
+        ``setup``) are never double-counted."""
+        outer = self._current_phase
+        outer_running = self._phase_started is not None
+        self.stop_timer()
+        self._current_phase = name
+        self._phase_started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stop_timer()
+            self._current_phase = outer
+            if outer_running:
+                self._phase_started = time.perf_counter()
+
     # -- recording --------------------------------------------------------
     def add_round(self, message_bits: Iterable[int], phase: str | None = None) -> None:
         """Record one synchronous round in which the given messages were
@@ -115,6 +135,33 @@ class RoundMetrics:
             if k > 0:
                 s.max_message_bits = max(s.max_message_bits, b)
         self._notify(name, k)
+
+    def add_uniform_rounds(
+        self,
+        num_rounds: int,
+        num_broadcasters: int,
+        bits_per_message: int,
+        phase: str | None = None,
+    ) -> None:
+        """Bulk-charge ``num_rounds`` identical vectorized rounds in O(1)
+        arithmetic (the closed-form replacement for per-round accounting
+        loops).  Observers still fire once per round so traces stay
+        round-accurate."""
+        name = phase or self._current_phase
+        r = int(num_rounds)
+        if r <= 0:
+            return
+        b = int(bits_per_message)
+        k = int(num_broadcasters)
+        for s in (self.phases[name], self.phases["total"]):
+            s.rounds += r
+            s.messages += r * k
+            s.total_bits += r * k * b
+            if k > 0:
+                s.max_message_bits = max(s.max_message_bits, b)
+        if self.observers:
+            for _ in range(r):
+                self._notify(name, k)
 
     def add_silent_round(self, phase: str | None = None) -> None:
         """A round in which no node broadcast (still costs a round)."""

@@ -86,25 +86,23 @@ class BroadcastNetwork:
     ) -> None:
         n, edges = _edges_from_input(graph)
         self.n = n
+        # One lexsort over the 2m directed pairs builds everything: the CSR
+        # arrays, the deduplication (adjacent-equal pairs in sorted order),
+        # and the undirected edge list (the src < dst half of the CSR order
+        # is exactly the (lo, hi)-sorted unique edge array).  No second
+        # sort of data the CSR sort already ordered.
         if edges.size:
-            # Deduplicate undirected edges.
-            lo = np.minimum(edges[:, 0], edges[:, 1])
-            hi = np.maximum(edges[:, 0], edges[:, 1])
-            und = np.unique(np.stack([lo, hi], axis=1), axis=0)
-        else:
-            und = edges
-        self.m = und.shape[0]
-        self._und_edges = und
-
-        # CSR over both directions.
-        if self.m:
-            src = np.concatenate([und[:, 0], und[:, 1]])
-            dst = np.concatenate([und[:, 1], und[:, 0]])
+            src = np.concatenate([edges[:, 0], edges[:, 1]])
+            dst = np.concatenate([edges[:, 1], edges[:, 0]])
+            order = np.lexsort((dst, src))
+            src, dst = src[order], dst[order]
+            keep = np.empty(src.size, dtype=bool)
+            keep[0] = True
+            np.logical_or(src[1:] != src[:-1], dst[1:] != dst[:-1], out=keep[1:])
+            src, dst = src[keep], dst[keep]
         else:
             src = np.empty(0, dtype=np.int64)
             dst = np.empty(0, dtype=np.int64)
-        order = np.lexsort((dst, src))
-        src, dst = src[order], dst[order]
         self.indices = dst
         self.indptr = np.zeros(n + 1, dtype=np.int64)
         if src.size:
@@ -112,6 +110,9 @@ class BroadcastNetwork:
         # Edge-source array aligned with ``indices``: indices[k] is a
         # neighbor of edge_src[k].
         self.edge_src = src
+        und_half = src < dst
+        self._und_edges = np.stack([src[und_half], dst[und_half]], axis=1)
+        self.m = self._und_edges.shape[0]
 
         self.degrees = np.diff(self.indptr).astype(np.int64)
         self.delta = int(self.degrees.max()) if n else 0
@@ -215,6 +216,25 @@ class BroadcastNetwork:
                 f"cap {self.bandwidth_bits}"
             )
         self.metrics.add_uniform_round(num_broadcasters, bits_per_message, phase=phase)
+
+    def account_vector_rounds(
+        self,
+        num_rounds: int,
+        num_broadcasters: int,
+        bits_per_message: int,
+        phase: str | None = None,
+    ) -> None:
+        """Bulk-account ``num_rounds`` identical vectorized rounds (one cap
+        check, closed-form accounting — see
+        :meth:`RoundMetrics.add_uniform_rounds`)."""
+        if self.bandwidth_bits is not None and bits_per_message > self.bandwidth_bits:
+            raise BandwidthExceeded(
+                f"vectorized round message of {bits_per_message} bits exceeds "
+                f"cap {self.bandwidth_bits}"
+            )
+        self.metrics.add_uniform_rounds(
+            num_rounds, num_broadcasters, bits_per_message, phase=phase
+        )
 
     def neighbor_min(self, values: np.ndarray, default: float | int) -> np.ndarray:
         """Per-node min over neighbor values (one broadcast round's worth of

@@ -103,3 +103,27 @@ class TestMinwise:
         net = BroadcastNetwork((2, [(0, 1)]))
         with pytest.raises(ValueError):
             minwise_fingerprints(net.indptr, net.indices, net.n, 4, bits=0)
+
+    def test_batched_matches_naive_per_sample(self):
+        """The chunk-batched kernel must equal the definition: per sample,
+        fingerprint[v] = (min over N[v] of the 32-bit hash) & mask."""
+        net = BroadcastNetwork((9, [(0, 1), (1, 2), (3, 4), (4, 5), (0, 5), (7, 8)]))
+        T, bits, salt = 37, 3, 5
+        got = minwise_fingerprints(net.indptr, net.indices, net.n, T, bits, salt=salt)
+        ids = np.arange(net.n, dtype=np.int64)
+        for j in range(T):
+            h = (hash_array_u64(ids, salt=salt * T + j) >> np.uint64(32)).astype(
+                np.uint32
+            )
+            for v in range(net.n):
+                closed = np.append(net.neighbors(v), v)
+                expect = int(h[closed].min()) & ((1 << bits) - 1)
+                assert int(got[j, v]) == expect
+
+    def test_isolated_node_fingerprint_is_own_hash(self):
+        net = BroadcastNetwork((3, [(0, 1)]))
+        fps = minwise_fingerprints(net.indptr, net.indices, net.n, 8, bits=4, salt=2)
+        ids = np.arange(3, dtype=np.int64)
+        for j in range(8):
+            h = (hash_array_u64(ids, salt=2 * 8 + j) >> np.uint64(32)).astype(np.uint32)
+            assert int(fps[j, 2]) == int(h[2]) & 0xF

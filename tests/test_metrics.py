@@ -49,6 +49,58 @@ class TestUniformRound:
         assert m.total_rounds == 1
 
 
+class TestBulkUniformRounds:
+    def test_matches_per_round_loop(self):
+        bulk, loop = RoundMetrics(), RoundMetrics()
+        bulk.add_uniform_rounds(5, 9, 16, phase="v")
+        for _ in range(5):
+            loop.add_uniform_round(9, 16, phase="v")
+        assert bulk.report() == loop.report()
+
+    def test_zero_rounds_noop(self):
+        m = RoundMetrics()
+        m.add_uniform_rounds(0, 9, 16, phase="v")
+        assert m.total_rounds == 0
+        assert "v" not in m.phase_names()
+
+    def test_observers_fire_once_per_round(self):
+        m = RoundMetrics()
+        seen = []
+        m.observers.append(lambda phase, k: seen.append((phase, k)))
+        m.add_uniform_rounds(3, 4, 8, phase="v")
+        assert seen == [("v", 4)] * 3
+
+
+class TestTimePhase:
+    def test_nested_timing_not_double_counted(self):
+        m = RoundMetrics()
+        m.begin_phase("outer")
+        with m.time_phase("inner"):
+            pass
+        m.stop_timer()
+        assert m.phase_seconds["inner"] >= 0
+        assert m.phase_seconds["outer"] >= 0
+        assert m.current_phase == "outer"
+
+    def test_without_running_outer_timer(self):
+        m = RoundMetrics()
+        with m.time_phase("inner"):
+            pass
+        assert "inner" in m.phase_seconds
+        # no phantom timer was started for the (never-begun) outer phase
+        assert m._phase_started is None
+
+    def test_restores_phase_on_exception(self):
+        m = RoundMetrics()
+        m.begin_phase("outer")
+        try:
+            with m.time_phase("inner"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert m.current_phase == "outer"
+
+
 class TestReporting:
     def test_report_includes_total(self):
         m = RoundMetrics()

@@ -78,6 +78,44 @@ class TestConstruction:
             for u in net.neighbors(v):
                 assert v in net.neighbors(int(u))
 
+    @given(edges_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_single_sort_construction_matches_reference(self, graph):
+        """The one-lexsort CSR build (edges deduped in sorted order,
+        ``_und_edges`` = the src < dst half) must reproduce the reference
+        construction: np.unique over canonicalized pairs + a second
+        lexsort of both directions."""
+        net = BroadcastNetwork(graph)
+        n, edge_list = graph
+        edges = np.array(
+            [(u, v) for u, v in edge_list if u != v], dtype=np.int64
+        ).reshape(-1, 2)
+        if edges.size:
+            lo = np.minimum(edges[:, 0], edges[:, 1])
+            hi = np.maximum(edges[:, 0], edges[:, 1])
+            und = np.unique(np.stack([lo, hi], axis=1), axis=0)
+            src = np.concatenate([und[:, 0], und[:, 1]])
+            dst = np.concatenate([und[:, 1], und[:, 0]])
+            order = np.lexsort((dst, src))
+            src, dst = src[order], dst[order]
+        else:
+            und = edges
+            src = dst = np.empty(0, dtype=np.int64)
+        assert np.array_equal(net.undirected_edges(), und)
+        assert np.array_equal(net.edge_src, src)
+        assert np.array_equal(net.indices, dst)
+        assert net.m == und.shape[0]
+
+    def test_und_edges_sorted_and_neighbors_sorted(self):
+        net = BroadcastNetwork((6, [(4, 1), (2, 0), (1, 0), (5, 2), (2, 1)]))
+        und = net.undirected_edges()
+        assert (und[:, 0] < und[:, 1]).all()
+        key = und[:, 0] * 6 + und[:, 1]
+        assert (np.diff(key) > 0).all()
+        for v in range(net.n):
+            nbrs = net.neighbors(v)
+            assert (np.diff(nbrs) > 0).all() if nbrs.size > 1 else True
+
 
 class TestSubgraphDegrees:
     def test_all_members(self):
