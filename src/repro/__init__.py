@@ -18,6 +18,8 @@ Public surface:
   (Theorem 2).
 * :class:`repro.ColoringConfig` — every constant of the paper,
   ``paper()`` and ``practical()`` presets.
+* :mod:`repro.dynamic` — churn workloads + the incremental recoloring
+  engine (maintain a (Δ+1)-coloring while the graph changes).
 * :mod:`repro.graphs` — workload generators.
 * :mod:`repro.baselines` — greedy / Johansson / Luby comparators.
 * :mod:`repro.decomposition` — the ε-almost-clique decomposition.
@@ -27,9 +29,10 @@ Public surface:
 from repro.config import ColoringConfig
 from repro.core.algorithm import BroadcastColoring, ColoringResult
 from repro.core.state import ColoringState
+from repro.dynamic import ChurnSchedule, DynamicColoring, UpdateBatch
 from repro.simulator.network import BroadcastNetwork
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BroadcastColoring",
@@ -37,5 +40,8 @@ __all__ = [
     "ColoringConfig",
     "ColoringState",
     "BroadcastNetwork",
+    "ChurnSchedule",
+    "DynamicColoring",
+    "UpdateBatch",
     "__version__",
 ]

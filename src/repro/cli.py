@@ -4,6 +4,7 @@ writing Python.
     python -m repro color --family gnp --n 2000 --avg-degree 40
     python -m repro compare --family blobs --n 4096 --seeds 3
     python -m repro decompose --cliques 8 --size 56
+    python -m repro churn --family mobile --n 2000 --batches 12 --churn 0.05
     python -m repro sweep --family blobs --min-exp 8 --max-exp 12 --workers 4
     python -m repro bench benchmarks/specs/quick.toml --workers 4 --out out.jsonl
 
@@ -29,7 +30,8 @@ from repro.core.algorithm import BroadcastColoring
 from repro.decomposition.acd import decompose_distributed
 from repro.decomposition.minhash import SKETCH_ENGINES
 from repro.decomposition.validation import validate_decomposition
-from repro.graphs.families import FAMILIES, make_graph
+from repro.dynamic import DynamicColoring
+from repro.graphs.families import CHURN_FAMILIES, FAMILIES, make_churn, make_graph
 from repro.graphs.generators import planted_acd_graph
 from repro.runner import (
     ParallelRunner,
@@ -83,6 +85,52 @@ def cmd_color(args: argparse.Namespace) -> int:
     report["clique_summary"] = result.clique_summary
     _emit(report, args.json)
     return 0 if (result.proper and result.complete) else 1
+
+
+def cmd_churn(args: argparse.Namespace) -> int:
+    cfg = ColoringConfig.practical(
+        seed=args.seed,
+        dynamic_batches=args.batches,
+        dynamic_churn_fraction=args.churn,
+        dynamic_fallback_fraction=args.fallback_fraction,
+    )
+    schedule = make_churn(
+        args.family,
+        args.n,
+        args.avg_degree,
+        args.seed,
+        batches=cfg.dynamic_batches,
+        churn_fraction=cfg.dynamic_churn_fraction,
+    )
+    engine = DynamicColoring(schedule, cfg)
+    result = engine.run(schedule)
+    summary = result.summary()
+    report: dict[str, Any] = {
+        "family": schedule.family,
+        "n": engine.n,
+        "batches": [r.as_dict() for r in result.reports],
+        "summary": summary,
+    }
+    if not args.json:
+        # Compact per-batch table instead of nested dict dumping.
+        print(f"family: {schedule.family}  n: {engine.n}  "
+              f"initial rounds: {result.initial_rounds}")
+        print("batch  mode      conflicts  recolored  frac     delta  colors  rounds")
+        for r in result.reports:
+            print(
+                f"{r.index:5d}  {r.mode:8s}  {r.conflicts:9d}  {r.recolored:9d}  "
+                f"{r.recolored_fraction:7.4f}  {r.delta:5d}  {r.colors_used:6d}  "
+                f"{r.rounds:6d}"
+            )
+        _emit({"summary": summary}, False)
+    else:
+        _emit(report, True)
+    ok = (
+        summary["proper_all"]
+        and summary["complete_all"]
+        and summary["colors_within_budget"]
+    )
+    return 0 if ok else 1
 
 
 def _make_runner(args: argparse.Namespace) -> ParallelRunner:
@@ -259,8 +307,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def family_arg(allowed: tuple[str, ...]):
+        """Argparse type validating the family's *base* name, so
+        'edgelist:PATH' passes while typos still get a clean usage
+        error instead of a traceback (choices= can't express this)."""
+
+        def check(value: str) -> str:
+            from repro.graphs.families import split_family
+
+            base, arg = split_family(value)
+            if base not in allowed:
+                raise argparse.ArgumentTypeError(
+                    f"invalid family {value!r} (choose a base from {allowed})"
+                )
+            if base == "edgelist" and not arg:
+                raise argparse.ArgumentTypeError(
+                    "edgelist family needs a path: 'edgelist:/path/to/file'"
+                )
+            if base != "edgelist" and arg is not None:
+                raise argparse.ArgumentTypeError(
+                    f"family {base!r} takes no ':' argument (got {value!r})"
+                )
+            return value
+
+        return check
+
     def common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--family", default="gnp", choices=list(FAMILIES))
+        p.add_argument("--family", default="gnp", type=family_arg(FAMILIES),
+                       help=f"one of {FAMILIES}; 'edgelist:PATH' loads a "
+                            "whitespace/CSV edge-list file")
         p.add_argument("--n", type=int, default=2000)
         p.add_argument("--avg-degree", type=float, default=40.0)
         p.add_argument("--seed", type=int, default=0)
@@ -301,6 +376,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "or the unpacked reference")
     p_dec.add_argument("--json", action="store_true")
     p_dec.set_defaults(fn=cmd_decompose)
+
+    p_churn = sub.add_parser(
+        "churn", help="maintain a coloring across a stream of topology updates"
+    )
+    p_churn.add_argument(
+        "--family", default="gnp-churn",
+        type=family_arg(CHURN_FAMILIES + FAMILIES),
+        help=f"churn family {CHURN_FAMILIES} or any static family "
+             f"{FAMILIES} (sliding-window churn over its initial graph)")
+    p_churn.add_argument("--n", type=int, default=2000)
+    p_churn.add_argument("--avg-degree", type=float, default=40.0)
+    p_churn.add_argument("--seed", type=int, default=0)
+    p_churn.add_argument("--batches", type=int, default=8,
+                         help="number of update batches")
+    p_churn.add_argument("--churn", type=float, default=0.05, metavar="FRACTION",
+                         help="per-batch churn intensity (edge fraction / step scale)")
+    p_churn.add_argument("--fallback-fraction", type=float, default=0.25,
+                         help="conflicted fraction above which the engine "
+                              "recolors from scratch (>=1 never, <0 always)")
+    p_churn.add_argument("--json", action="store_true")
+    p_churn.set_defaults(fn=cmd_churn)
 
     p_sweep = sub.add_parser("sweep", help="rounds vs n with growth-shape fits")
     common(p_sweep)

@@ -156,6 +156,33 @@ class ColoringConfig:
     the broadcaster/listener symmetry of Lemma 2.14: the expansion is a
     pure function of (seed, list)."""
 
+    # --- dynamic graphs / incremental recoloring (repro.dynamic, DESIGN.md §6) ---
+    dynamic_fallback_fraction: float = 0.25
+    """Full-recolor fallback trigger: when the conflicted fraction of
+    active nodes after a batch exceeds this, the incremental engine drops
+    the maintained coloring and re-runs the whole pipeline.  ≥ 1.0 never
+    falls back (repair-only); < 0.0 always falls back (the
+    recolor-from-scratch baseline the bench compares against)."""
+
+    dynamic_repair_use_multitrial: bool = True
+    """Repair engine: seed the conflict set through MultiTrial (geometric
+    try growth, seed broadcasts) before the TryColor mop-up.  Off = plain
+    TryColor rounds only — the right choice for tiny conflict sets, and
+    the ablation axis of bench_dynamic."""
+
+    dynamic_repair_multitrial_min: int = 8
+    """Conflict sets smaller than this skip MultiTrial and go straight to
+    TryColor (a 2-node repair does not need seed machinery)."""
+
+    dynamic_batches: int = 8
+    """Default churn-schedule length for runner trials (algorithm
+    "dynamic") — each batch is one :class:`repro.dynamic.UpdateBatch`."""
+
+    dynamic_churn_fraction: float = 0.05
+    """Default per-batch churn intensity for generated schedules: the
+    fraction of current edges resampled (sliding-window families) or the
+    mobility step scale (mobile geometric)."""
+
     # --- ablation switches (DESIGN.md design-choice experiments) ---
     enable_matching: bool = True
     """Off = skip the colorful matching (Lemma 2.9).  Ablation EA1: closed

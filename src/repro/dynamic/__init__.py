@@ -1,0 +1,20 @@
+"""Dynamic graphs: churn workloads + the incremental recoloring engine.
+
+The subsystem that takes the repo from "color a frozen graph once" to
+"maintain a valid coloring while the graph changes under it" (DESIGN.md
+§6).  Event model in :mod:`repro.dynamic.events`, engine in
+:mod:`repro.dynamic.engine`, churn workload generators in
+:mod:`repro.graphs.churn`, surface via ``repro churn`` and the runner's
+``algorithm="dynamic"`` trials.
+"""
+
+from repro.dynamic.engine import BatchReport, DynamicColoring, DynamicResult
+from repro.dynamic.events import ChurnSchedule, UpdateBatch
+
+__all__ = [
+    "BatchReport",
+    "ChurnSchedule",
+    "DynamicColoring",
+    "DynamicResult",
+    "UpdateBatch",
+]

@@ -1,0 +1,357 @@
+"""Incremental recoloring: maintain a (Δ_t+1)-coloring under churn.
+
+The control loop per :class:`~repro.dynamic.events.UpdateBatch`
+(DESIGN.md §6):
+
+1. **delta** — departures expand to their incident edges; the whole batch
+   lands in one :meth:`BroadcastNetwork.apply_delta` sorted merge, with
+   announcement rounds/bits charged to ``dynamic/delta``.
+2. **detect** — vectorized conflict detection on the new CSR: the larger
+   endpoint of every monochromatic edge loses its color, as does any node
+   whose color fell out of the new palette [Δ_t+1] (Δ shrank).  Changed
+   neighborhoods re-sync with one color broadcast from touched nodes.
+3. **repair** — the conflict set + arrivals re-run the *existing* batched
+   kernels as subroutines: MultiTrial (seed broadcasts, geometric try
+   growth) when the set is large enough to warrant it, then TryColor
+   rounds from true palettes until proper.  The fringe — colored
+   neighbors of the conflict set — participates as listeners only: its
+   colors constrain palettes but never move, which is what keeps
+   recolored-nodes-per-batch small.
+4. **fallback** — when the conflicted fraction of active nodes crosses
+   ``cfg.dynamic_fallback_fraction`` (or a repair stalls), drop the
+   maintained coloring and re-run the full pipeline on the current graph
+   — the recolor-from-scratch baseline, available per batch.
+
+Invariant after every batch (pinned by tests/test_dynamic.py): the
+maintained coloring is proper, complete on active nodes, and uses at
+most Δ_t+1 colors.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.config import ColoringConfig
+from repro.core.algorithm import BroadcastColoring
+from repro.core.multitrial import multitrial
+from repro.core.state import ColoringState
+from repro.core.trycolor import palette_sampler, try_color_round
+from repro.dynamic.events import ChurnSchedule, UpdateBatch
+from repro.simulator.network import BroadcastNetwork
+from repro.simulator.rng import SeedSequencer
+from repro.util.bitio import bits_for_color
+
+__all__ = ["DynamicColoring", "BatchReport", "DynamicResult"]
+
+
+@dataclass
+class BatchReport:
+    """Everything one batch produced (quality + cost, per ISSUE E14)."""
+
+    index: int
+    mode: str  # "repair" | "fallback"
+    fallback_reason: str | None
+    conflicts: int
+    """Nodes whose color was invalidated by the delta (mono edges +
+    out-of-palette); arrivals are counted separately."""
+    arrivals: int
+    departures: int
+    edges_added: int
+    edges_removed: int
+    recolored: int
+    active: int
+    delta: int
+    colors_used: int
+    rounds: int
+    total_bits: int
+    proper: bool
+    complete: bool
+    seconds: float
+
+    @property
+    def conflict_fraction(self) -> float:
+        return self.conflicts / max(self.active, 1)
+
+    @property
+    def recolored_fraction(self) -> float:
+        return self.recolored / max(self.active, 1)
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "mode": self.mode,
+            "fallback_reason": self.fallback_reason,
+            "conflicts": self.conflicts,
+            "conflict_fraction": round(self.conflict_fraction, 6),
+            "arrivals": self.arrivals,
+            "departures": self.departures,
+            "edges_added": self.edges_added,
+            "edges_removed": self.edges_removed,
+            "recolored": self.recolored,
+            "recolored_fraction": round(self.recolored_fraction, 6),
+            "active": self.active,
+            "delta": self.delta,
+            "colors_used": self.colors_used,
+            "rounds": self.rounds,
+            "total_bits": self.total_bits,
+            "proper": self.proper,
+            "complete": self.complete,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+@dataclass
+class DynamicResult:
+    """A full churn run: the initial coloring plus one report per batch."""
+
+    n: int
+    initial_rounds: int
+    initial_seconds: float
+    reports: list[BatchReport] = field(default_factory=list)
+
+    def summary(self) -> dict:
+        reps = self.reports
+        rec = [r.recolored_fraction for r in reps] or [0.0]
+        con = [r.conflict_fraction for r in reps] or [0.0]
+        return {
+            "batches": len(reps),
+            "fallbacks": sum(1 for r in reps if r.mode == "fallback"),
+            "mean_conflict_fraction": float(np.mean(con)),
+            "mean_recolored_fraction": float(np.mean(rec)),
+            "max_recolored_fraction": float(np.max(rec)),
+            "mean_repair_rounds": float(np.mean([r.rounds for r in reps] or [0])),
+            "total_rounds": int(sum(r.rounds for r in reps)),
+            "total_bits": int(sum(r.total_bits for r in reps)),
+            "proper_all": bool(all(r.proper for r in reps)),
+            "complete_all": bool(all(r.complete for r in reps)),
+            "colors_within_budget": bool(
+                all(r.colors_used <= r.delta + 1 for r in reps)
+            ),
+            "initial_rounds": self.initial_rounds,
+        }
+
+
+class DynamicColoring:
+    """Maintains a proper (Δ_t+1)-coloring across update batches.
+
+    >>> from repro.graphs.families import make_churn
+    >>> sched = make_churn("gnp-churn", 500, 12.0, seed=3, batches=4)
+    >>> result = DynamicColoring(sched.initial).run(sched)
+    >>> assert result.summary()["proper_all"]
+
+    Parameters
+    ----------
+    graph:
+        The initial ``(n, edges)`` pair (or a :class:`ChurnSchedule`,
+        whose initial graph is taken).  The node universe is fixed at n.
+    config:
+        :class:`ColoringConfig`; the ``dynamic_*`` knobs drive the
+        repair-vs-fallback policy.
+    """
+
+    def __init__(self, graph, config: ColoringConfig | None = None):
+        if isinstance(graph, ChurnSchedule):
+            graph = graph.initial
+        self.cfg = config or ColoringConfig.practical()
+        self.net = BroadcastNetwork(graph)
+        self.net.bandwidth_bits = self.cfg.bandwidth_bits(self.net.n)
+        self.seq = SeedSequencer(self.cfg.seed).spawn("dynamic")
+        self.active = np.ones(self.net.n, dtype=bool)
+        self._batch_index = 0
+
+        t0 = time.perf_counter()
+        rounds0 = self.net.metrics.total_rounds
+        result = BroadcastColoring(self.net, self.cfg).run()
+        self.colors = result.colors.copy()
+        self.initial_rounds = self.net.metrics.total_rounds - rounds0
+        self.initial_seconds = time.perf_counter() - t0
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.net.n
+
+    def colors_used(self) -> int:
+        used = self.colors[self.active & (self.colors >= 0)]
+        return int(np.unique(used).size) if used.size else 0
+
+    def is_proper(self) -> bool:
+        src, dst = self.net.edge_src, self.net.indices
+        c = self.colors
+        return not bool(((c[src] >= 0) & (c[src] == c[dst])).any())
+
+    def is_complete(self) -> bool:
+        return bool((self.colors[self.active] >= 0).all())
+
+    # ------------------------------------------------------------------
+    def apply_batch(self, batch: UpdateBatch) -> BatchReport:
+        """Apply one update batch and restore the coloring invariant."""
+        cfg, net = self.cfg, self.net
+        metrics = net.metrics
+        t = self._batch_index
+        self._batch_index += 1
+        t0 = time.perf_counter()
+        rounds_before = metrics.total_rounds
+        bits_before = metrics.total_bits
+        batch.validate(net.n)
+
+        # ---- 1. delta merge (departures expand to incident edges) ----
+        deletions = batch.delete_edges
+        dep_incident = np.empty((0, 2), dtype=np.int64)
+        if batch.departures.size:
+            dep_mask = np.zeros(net.n, dtype=bool)
+            dep_mask[batch.departures] = True
+            und = net.undirected_edges()
+            dep_incident = und[dep_mask[und[:, 0]] | dep_mask[und[:, 1]]]
+            deletions = np.concatenate([deletions.reshape(-1, 2), dep_incident])
+        with metrics.time_phase("dynamic/delta"):
+            delta_rep = net.apply_delta(
+                batch.insert_edges,
+                deletions,
+                phase="dynamic/delta",
+                silent_nodes=batch.departures,
+            )
+        self.active[batch.departures] = False
+        self.colors[batch.departures] = -1
+        self.active[batch.arrivals] = True
+        num_colors = net.delta + 1
+
+        # ---- 2. conflict detection on the new CSR --------------------
+        with metrics.time_phase("dynamic/detect"):
+            c = self.colors
+            src, dst = net.edge_src, net.indices
+            conflict = np.zeros(net.n, dtype=bool)
+            mono = (c[src] >= 0) & (c[src] == c[dst]) & (dst < src)
+            conflict[src[mono]] = True
+            conflict |= self.active & (c >= num_colors)
+            c[conflict] = -1
+            # Touched *live* nodes re-broadcast their color so every
+            # changed neighborhood agrees on the post-delta state: one
+            # round.  Departed nodes are powered down and stay silent —
+            # their neighbors learn the loss from the delta announcements.
+            touched = np.zeros(net.n, dtype=bool)
+            for arr in (batch.insert_edges, batch.delete_edges, dep_incident):
+                if arr.size:
+                    touched[arr.reshape(-1)] = True
+            touched[batch.arrivals] = True
+            touched[batch.departures] = False
+            net.account_vector_round(
+                int(touched.sum()),
+                bits_for_color(max(net.delta, 1)),
+                phase="dynamic/detect",
+            )
+        conflicts = int(conflict.sum())
+
+        # ---- 3/4. repair or fallback ---------------------------------
+        repair_set = np.flatnonzero(self.active & (self.colors < 0))
+        frac = conflicts / max(int(self.active.sum()), 1)
+        mode, reason = "repair", None
+        if frac > cfg.dynamic_fallback_fraction:
+            mode, reason = "fallback", "fraction"
+        else:
+            done = self._repair(repair_set, num_colors, t)
+            if not done:
+                mode, reason = "fallback", "repair-stalled"
+        if mode == "fallback":
+            self._full_recolor(t)
+
+        recolored = (
+            int(self.active.sum()) if mode == "fallback" else int(repair_set.size)
+        )
+        return BatchReport(
+            index=t,
+            mode=mode,
+            fallback_reason=reason,
+            conflicts=conflicts,
+            arrivals=int(batch.arrivals.size),
+            departures=int(batch.departures.size),
+            edges_added=delta_rep.edges_added,
+            edges_removed=delta_rep.edges_removed,
+            recolored=recolored,
+            active=int(self.active.sum()),
+            delta=net.delta,
+            colors_used=self.colors_used(),
+            rounds=metrics.total_rounds - rounds_before,
+            total_bits=metrics.total_bits - bits_before,
+            proper=self.is_proper(),
+            complete=self.is_complete(),
+            seconds=time.perf_counter() - t0,
+        )
+
+    def _repair(self, repair_set: np.ndarray, num_colors: int, t: int) -> bool:
+        """Local repair: the existing batched kernels on the conflict set
+        only.  Returns False when the TryColor mop-up hit the round cap
+        (the caller then falls back)."""
+        cfg, net = self.cfg, self.net
+        if repair_set.size == 0:
+            return True
+        with net.metrics.time_phase("dynamic/repair"):
+            state = ColoringState(net, num_colors=num_colors)
+            state.colors = self.colors.copy()
+            if (
+                cfg.dynamic_repair_use_multitrial
+                and repair_set.size >= cfg.dynamic_repair_multitrial_min
+            ):
+                mask = np.zeros(net.n, dtype=bool)
+                mask[repair_set] = True
+                lo = np.zeros(net.n, dtype=np.int64)
+                hi = np.full(net.n, num_colors, dtype=np.int64)
+                multitrial(
+                    state,
+                    mask,
+                    lo,
+                    hi,
+                    cfg,
+                    self.seq.spawn("dyn-mt", t),
+                    phase="dynamic/repair",
+                )
+            rounds = 0
+            sampler = palette_sampler(state)
+            while rounds < cfg.max_cleanup_rounds:
+                pending = repair_set[state.colors[repair_set] < 0]
+                if not pending.size:
+                    break
+                try_color_round(
+                    state,
+                    pending,
+                    sampler,
+                    self.seq,
+                    phase="dynamic/repair",
+                    round_tag=(t, rounds),
+                )
+                rounds += 1
+            self.colors = state.colors
+        return bool((state.colors[repair_set] >= 0).all())
+
+    def _full_recolor(self, t: int) -> None:
+        """Recolor-from-scratch on the current topology (the fallback and
+        the baseline bench_dynamic compares repair against).  Inactive
+        nodes are isolated by construction; their pipeline colors are
+        discarded so they stay dark."""
+        with self.net.metrics.time_phase("dynamic/fallback"):
+            cfg = self.cfg.with_seed(self.seq.derive_seed("fallback", t))
+            result = BroadcastColoring(self.net, cfg).run()
+            colors = result.colors.copy()
+            colors[~self.active] = -1
+            self.colors = colors
+
+    # ------------------------------------------------------------------
+    def run(self, batches: ChurnSchedule | Iterable[UpdateBatch]) -> DynamicResult:
+        """Apply every batch in sequence; returns the per-batch reports.
+
+        When handed a full :class:`ChurnSchedule`, the schedule's initial
+        graph must be the one this engine was built on (the usual call
+        pattern is ``DynamicColoring(sched).run(sched)``).
+        """
+        result = DynamicResult(
+            n=self.n,
+            initial_rounds=self.initial_rounds,
+            initial_seconds=self.initial_seconds,
+        )
+        for batch in batches:
+            result.reports.append(self.apply_batch(batch))
+        return result

@@ -1,11 +1,17 @@
-"""Workload generators and graph property audits."""
+"""Workload generators (static + churn) and graph property audits."""
 
+from repro.graphs.churn import (
+    blob_merge_split_churn,
+    mobile_geometric_churn,
+    sliding_window_churn,
+)
 from repro.graphs.generators import (
     gnp_graph,
     random_regular_graph,
     clique_blob_graph,
     planted_acd_graph,
     geometric_graph,
+    geometric_edges,
     hard_mix_graph,
     ring_graph,
     star_graph,
@@ -15,6 +21,10 @@ from repro.graphs.generators import (
 from repro.graphs.properties import GraphSummary, summarize_graph
 
 __all__ = [
+    "blob_merge_split_churn",
+    "mobile_geometric_churn",
+    "sliding_window_churn",
+    "geometric_edges",
     "gnp_graph",
     "random_regular_graph",
     "clique_blob_graph",

@@ -1,0 +1,236 @@
+"""Churn workload generators: graphs that keep changing (DESIGN.md §6).
+
+Three recipes, each producing a :class:`~repro.dynamic.events.ChurnSchedule`
+(initial graph + stream of :class:`~repro.dynamic.events.UpdateBatch`):
+
+* :func:`sliding_window_churn` — per batch, a fraction of the current
+  edge set is resampled: random edges leave the window, fresh uniform
+  pairs enter.  Applied to a G(n, p) start this is the classic
+  sliding-window G(n,p) churn model; it works on *any* initial graph, so
+  every static family gains a churn variant for free.
+* :func:`mobile_geometric_churn` — transmitters random-walk on the unit
+  square; the interference graph is re-derived geometrically each step,
+  and the batch is the edge diff.  A hand-off fraction of nodes powers
+  down (departure) and re-appears at a fresh position two batches later
+  (arrival) — the OSERENA-style dense-wireless scenario.
+* :func:`blob_merge_split_churn` — almost-clique blobs merge (all cross
+  pairs inserted) and split back apart, driving large swings in Δ and in
+  the dense-machinery workload.
+
+Every generator is deterministic in its ``seed`` and tracks the evolving
+edge set itself, so schedules are self-consistent: deletions always name
+live edges, insertions never name existing ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dynamic.events import ChurnSchedule, UpdateBatch
+from repro.graphs.generators import clique_blob_graph, geometric_edges, gnp_graph
+
+__all__ = [
+    "sliding_window_churn",
+    "mobile_geometric_churn",
+    "blob_merge_split_churn",
+]
+
+
+def _keys(edges: np.ndarray, n: int) -> np.ndarray:
+    """(k, 2) undirected pairs → sorted unique keys lo·n + hi."""
+    if not edges.size:
+        return np.empty(0, dtype=np.int64)
+    lo = np.minimum(edges[:, 0], edges[:, 1])
+    hi = np.maximum(edges[:, 0], edges[:, 1])
+    return np.unique(lo * n + hi)
+
+
+def _pairs(keys: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`_keys`."""
+    return np.stack([keys // n, keys % n], axis=1).astype(np.int64)
+
+
+def sliding_window_churn(
+    initial: tuple[int, np.ndarray],
+    num_batches: int,
+    churn_fraction: float,
+    seed: int = 0,
+    family: str = "sliding-window",
+) -> ChurnSchedule:
+    """Resample ``churn_fraction`` of the current edges every batch.
+
+    Deletions are a uniform sample of the live edge set; the same number
+    of fresh uniform non-edges enters (rejection-sampled with a bounded
+    guard, so extreme densities degrade to fewer insertions rather than
+    spinning).  Edge count — and so average degree — stays ~constant
+    while the graph's identity drifts completely over ``1/churn_fraction``
+    batches: the sliding-window G(n,p) model when seeded with G(n,p).
+    """
+    n, edges = int(initial[0]), np.asarray(initial[1], dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    current = _keys(edges.reshape(-1, 2), max(n, 1))
+    batches = []
+    for _ in range(int(num_batches)):
+        k = int(round(churn_fraction * current.size))
+        k = min(k, current.size)
+        if k == 0 and churn_fraction > 0 and current.size:
+            k = 1  # tiny-but-nonzero fractions still churn something
+        drop_idx = rng.choice(current.size, size=k, replace=False) if k else []
+        dropped = current[np.sort(drop_idx)] if k else np.empty(0, dtype=np.int64)
+        survivors = np.delete(current, drop_idx) if k else current
+
+        fresh = np.empty(0, dtype=np.int64)
+        guard = 0
+        while fresh.size < k and guard < 50 and n >= 2:
+            guard += 1
+            need = k - fresh.size
+            u = rng.integers(0, n, size=2 * need + 4, dtype=np.int64)
+            v = rng.integers(0, n, size=2 * need + 4, dtype=np.int64)
+            ok = u != v
+            cand = np.unique(np.minimum(u[ok], v[ok]) * n + np.maximum(u[ok], v[ok]))
+            # Reject against the full pre-batch edge set (not just the
+            # survivors): re-inserting a same-batch deletion would be a
+            # hidden no-op, not churn.
+            cand = cand[~np.isin(cand, current)]
+            cand = cand[~np.isin(cand, fresh)]
+            fresh = np.concatenate([fresh, cand[:need]])
+        batches.append(
+            UpdateBatch(
+                insert_edges=_pairs(fresh, n), delete_edges=_pairs(dropped, n)
+            )
+        )
+        current = np.unique(np.concatenate([survivors, fresh]))
+    return ChurnSchedule(initial=(n, edges), batches=tuple(batches), family=family)
+
+
+def mobile_geometric_churn(
+    n: int,
+    radius: float,
+    num_batches: int,
+    step: float,
+    seed: int = 0,
+    handoff_fraction: float = 0.02,
+) -> ChurnSchedule:
+    """Mobile transmitters: a random walk drives the interference graph.
+
+    Each batch, every active node moves by a Gaussian step (σ = ``step``,
+    reflected into the unit square) and the geometric graph at radius
+    ``radius`` is re-derived; the batch carries the edge diff.  A
+    ``handoff_fraction`` of active nodes departs per batch (power-down /
+    hand-off) and re-arrives two batches later at a fresh position with
+    its new interference edges in the same batch.
+    """
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    initial_edges = geometric_edges(pts, radius)
+    active = np.ones(n, dtype=bool)
+    away: dict[int, int] = {}  # node -> batch index it departed
+    current = _keys(initial_edges, max(n, 1))
+    batches = []
+    for t in range(int(num_batches)):
+        # Hand-offs: returning nodes first (fresh position), then new
+        # departures from the still-active population.
+        arrivals = np.array(
+            sorted(v for v, t0 in away.items() if t - t0 >= 2), dtype=np.int64
+        )
+        for v in arrivals:
+            del away[int(v)]
+            pts[v] = rng.random(2)
+            active[v] = True
+        pool = np.flatnonzero(active)
+        pool = pool[~np.isin(pool, arrivals)]
+        h = min(int(round(handoff_fraction * n)), pool.size)
+        departures = (
+            np.sort(rng.choice(pool, size=h, replace=False))
+            if h
+            else np.empty(0, dtype=np.int64)
+        )
+        active[departures] = False
+        for v in departures:
+            away[int(v)] = t
+
+        # Movement (active nodes only), reflected into [0, 1].
+        moving = np.flatnonzero(active)
+        pts[moving] += rng.normal(0.0, step, size=(moving.size, 2))
+        pts = np.abs(pts)
+        pts = np.where(pts > 1.0, 2.0 - pts, pts)
+        pts = np.clip(pts, 0.0, 1.0)
+
+        new_edges = geometric_edges(pts, radius)
+        mask = active[new_edges[:, 0]] & active[new_edges[:, 1]] if new_edges.size else None
+        new_keys = _keys(new_edges[mask] if new_edges.size else new_edges, max(n, 1))
+
+        # Departure-incident deletions are implicit (the engine expands
+        # departures); the explicit diff covers everything else.
+        dep_mask = np.zeros(n, dtype=bool)
+        dep_mask[departures] = True
+        gone = current[~np.isin(current, new_keys)]
+        if gone.size:
+            gp = _pairs(gone, n)
+            gone = gone[~(dep_mask[gp[:, 0]] | dep_mask[gp[:, 1]])]
+        fresh = new_keys[~np.isin(new_keys, current)]
+        batches.append(
+            UpdateBatch(
+                insert_edges=_pairs(fresh, n),
+                delete_edges=_pairs(gone, n),
+                arrivals=arrivals,
+                departures=departures,
+            )
+        )
+        current = new_keys
+    return ChurnSchedule(
+        initial=(n, initial_edges), batches=tuple(batches), family="mobile"
+    )
+
+
+def blob_merge_split_churn(
+    num_cliques: int,
+    clique_size: int,
+    num_batches: int,
+    seed: int = 0,
+) -> ChurnSchedule:
+    """Almost-clique blobs merging and splitting.
+
+    Even batches (starting at t=0) merge a random pair of distinct blobs
+    — every missing cross pair between them is inserted, roughly
+    doubling the pair's degrees (and possibly Δ).  Odd batches split the
+    oldest merged pair by deleting exactly the edges its merge inserted.
+    This is the
+    worst-case workload for an incremental engine: conflicts concentrate
+    in one region and Δ_t swings both ways.
+    """
+    rng = np.random.default_rng(seed)
+    s = int(clique_size)
+    n = int(num_cliques) * s
+    initial = clique_blob_graph(
+        num_cliques,
+        s,
+        anti_edges_per_clique=max(1, s // 3),
+        external_edges_per_clique=max(1, s // 6),
+        seed=seed,
+    )
+    current = _keys(np.asarray(initial[1]), max(n, 1))
+    merged: list[tuple[int, int, np.ndarray]] = []  # (a, b, inserted keys)
+    batches = []
+    for t in range(int(num_batches)):
+        if merged and (t % 2 == 1 or len(merged) >= max(1, num_cliques // 2)):
+            a, b, keys = merged.pop(0)
+            batches.append(UpdateBatch(delete_edges=_pairs(keys, n)))
+            current = current[~np.isin(current, keys)]
+            continue
+        taken = {k for pair in merged for k in pair[:2]}
+        free = [k for k in range(num_cliques) if k not in taken]
+        if len(free) < 2:
+            batches.append(UpdateBatch())
+            continue
+        a, b = sorted(rng.choice(free, size=2, replace=False).tolist())
+        ua = np.arange(a * s, (a + 1) * s, dtype=np.int64)
+        ub = np.arange(b * s, (b + 1) * s, dtype=np.int64)
+        cross = (
+            np.minimum.outer(ua, ub) * n + np.maximum.outer(ua, ub)
+        ).ravel()
+        cross = np.unique(cross[~np.isin(cross, current)])
+        merged.append((a, b, cross))
+        batches.append(UpdateBatch(insert_edges=_pairs(cross, n)))
+        current = np.unique(np.concatenate([current, cross]))
+    return ChurnSchedule(initial=initial, batches=tuple(batches), family="blobs-churn")

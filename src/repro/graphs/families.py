@@ -6,12 +6,31 @@ graph.  Keeping the recipes here (rather than inside ``cli.py``, where
 they historically lived) lets :mod:`repro.runner` worker processes build
 the graph for a :class:`~repro.runner.spec.TrialSpec` without importing
 argparse machinery.
+
+Two registries:
+
+* :data:`FAMILIES` — static graphs.  ``"edgelist"`` is special: it loads
+  a whitespace/CSV edge-list file, with the path carried in the family
+  string itself (``"edgelist:/path/to/snapshot.txt"``), so real-world
+  snapshots ride every surface a generated family does.
+* :data:`CHURN_FAMILIES` — dynamic workloads for :mod:`repro.dynamic`:
+  :func:`make_churn` turns the same ``(n, avg_degree, seed)`` signature
+  into a :class:`~repro.dynamic.events.ChurnSchedule`.  Any *static*
+  family name is also accepted — it seeds a generic sliding-window churn
+  over that family's initial graph.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
+from repro.graphs.churn import (
+    blob_merge_split_churn,
+    mobile_geometric_churn,
+    sliding_window_churn,
+)
 from repro.graphs.generators import (
     clique_blob_graph,
     geometric_graph,
@@ -20,16 +39,73 @@ from repro.graphs.generators import (
     planted_acd_graph,
 )
 
-__all__ = ["FAMILIES", "make_graph"]
+__all__ = [
+    "FAMILIES",
+    "CHURN_FAMILIES",
+    "make_graph",
+    "make_churn",
+    "split_family",
+    "load_edgelist",
+]
 
-FAMILIES = ("gnp", "blobs", "geometric", "hardmix", "planted")
+FAMILIES = ("gnp", "blobs", "geometric", "hardmix", "planted", "edgelist")
+
+CHURN_FAMILIES = ("gnp-churn", "mobile", "blobs-churn")
+
+
+def split_family(family: str) -> tuple[str, str | None]:
+    """``"edgelist:/path"`` → ``("edgelist", "/path")``; plain names pass
+    through with ``None``.  The base name is what registries validate."""
+    if ":" in family:
+        base, arg = family.split(":", 1)
+        return base, arg
+    return family, None
+
+
+def load_edgelist(path: str | Path, n: int | None = None) -> tuple[int, np.ndarray]:
+    """Load a whitespace- or comma-separated edge-list file.
+
+    Each non-empty, non-comment (``#``) line names one edge ``u v``.
+    Node ids must be non-negative integers; ``n`` defaults to
+    ``max id + 1`` and may be passed larger to keep isolated tail nodes.
+    Returns the ``(n, edges)`` pair every generator produces.
+    """
+    path = Path(path)
+    pairs: list[tuple[int, int]] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.replace(",", " ").split()
+            if len(parts) < 2:
+                raise ValueError(f"{path}:{lineno}: expected 'u v', got {line!r}")
+            u, v = int(parts[0]), int(parts[1])
+            if u < 0 or v < 0:
+                raise ValueError(f"{path}:{lineno}: negative node id")
+            pairs.append((u, v))
+    edges = np.array(pairs, dtype=np.int64).reshape(-1, 2)
+    implied = int(edges.max()) + 1 if edges.size else 0
+    if n is None:
+        n = implied
+    elif n < implied:
+        raise ValueError(f"n={n} smaller than max node id {implied - 1}")
+    return int(n), edges
+
+
+def _split_checked(family: str) -> tuple[str, str | None]:
+    base, arg = split_family(family)
+    if arg is not None and base != "edgelist":
+        raise ValueError(f"family {base!r} takes no ':' argument ({family!r})")
+    return base, arg
 
 
 def make_graph(family: str, n: int, avg_degree: float, seed: int):
     """Instantiate a workload by family name (shared by all subcommands)."""
-    if family == "gnp":
+    base, arg = _split_checked(family)
+    if base == "gnp":
         return gnp_graph(n, min(1.0, avg_degree / max(n, 2)), seed=seed)
-    if family == "blobs":
+    if base == "blobs":
         size = max(8, int(avg_degree))
         return clique_blob_graph(
             max(1, n // size),
@@ -38,18 +114,65 @@ def make_graph(family: str, n: int, avg_degree: float, seed: int):
             external_edges_per_clique=max(1, size // 6),
             seed=seed,
         )
-    if family == "geometric":
+    if base == "geometric":
         radius = float(np.sqrt(avg_degree / (np.pi * max(n, 2))))
         return geometric_graph(n, radius, seed=seed)
-    if family == "hardmix":
+    if base == "hardmix":
         size = max(8, int(avg_degree))
         blobs = max(1, n // (4 * size))
         return hard_mix_graph(
             blobs, size, n - blobs * size, avg_degree / max(n, 2), n // 20, seed=seed
         )
-    if family == "planted":
+    if base == "planted":
         size = max(8, int(avg_degree))
         return planted_acd_graph(
             max(1, n // size), size, 0.1, sparse_nodes=n // 5, seed=seed
         )
+    if base == "edgelist":
+        if not arg:
+            raise ValueError(
+                "edgelist family needs a path: use 'edgelist:/path/to/file'"
+            )
+        return load_edgelist(arg)
     raise ValueError(f"unknown family: {family!r}")
+
+
+def make_churn(
+    family: str,
+    n: int,
+    avg_degree: float,
+    seed: int,
+    batches: int = 8,
+    churn_fraction: float = 0.05,
+):
+    """Instantiate a churn workload (a ChurnSchedule) by family name.
+
+    ``family`` is a :data:`CHURN_FAMILIES` name, or any static
+    :data:`FAMILIES` name — the latter seeds a generic sliding-window
+    churn over that family's initial graph (same graph the static run
+    sees, per the shared seeding discipline).
+    """
+    base, _ = _split_checked(family)
+    if base == "gnp-churn":
+        initial = gnp_graph(n, min(1.0, avg_degree / max(n, 2)), seed=seed)
+        return sliding_window_churn(
+            initial, batches, churn_fraction, seed=seed + 1, family="gnp-churn"
+        )
+    if base == "mobile":
+        radius = float(np.sqrt(avg_degree / (np.pi * max(n, 2))))
+        return mobile_geometric_churn(
+            n,
+            radius,
+            batches,
+            step=churn_fraction * radius,
+            seed=seed,
+        )
+    if base == "blobs-churn":
+        size = max(8, int(avg_degree))
+        return blob_merge_split_churn(max(2, n // size), size, batches, seed=seed)
+    if base in FAMILIES:
+        initial = make_graph(family, n, avg_degree, seed)
+        return sliding_window_churn(
+            initial, batches, churn_fraction, seed=seed + 1, family=f"{base}+sliding"
+        )
+    raise ValueError(f"unknown churn family: {family!r}")

@@ -34,6 +34,7 @@ __all__ = [
     "clique_blob_graph",
     "planted_acd_graph",
     "geometric_graph",
+    "geometric_edges",
     "hard_mix_graph",
     "ring_graph",
     "star_graph",
@@ -275,11 +276,11 @@ def planted_acd_graph(
     return _dedup(n, np.concatenate(parts))
 
 
-def geometric_graph(n: int, radius: float, seed: int = 0) -> GraphInput:
-    """Random geometric graph on the unit square — the wireless-network
-    motivation (frequency assignment) from the paper's introduction."""
-    rng = np.random.default_rng(seed)
-    pts = rng.random((n, 2))
+def geometric_edges(pts: np.ndarray, radius: float) -> np.ndarray:
+    """Edges of the geometric graph on point set ``pts`` (unit square):
+    (u, v) with u < v whenever ``|pts[u] − pts[v]| ≤ radius``.  Shared by
+    :func:`geometric_graph` and the mobile churn generator, which re-runs
+    it per timestep as transmitters move."""
     # Grid-bucketed neighbor search keeps this O(n) for constant density.
     cell = max(radius, 1e-9)
     grid: dict[tuple[int, int], list[int]] = {}
@@ -300,7 +301,18 @@ def geometric_graph(n: int, radius: float, seed: int = 0) -> GraphInput:
                 dx_, dy_ = pts[j][0] - xi, pts[j][1] - yi
                 if dx_ * dx_ + dy_ * dy_ <= r2:
                     edges.append((i, j))
-    return _dedup(n, edges)
+    # Each i < j pair is emitted at most once (i lives in exactly one
+    # bucket and appears once in cand), so no dedup pass is needed —
+    # this runs per timestep in the mobile churn hot path.
+    return np.array(edges, dtype=np.int64).reshape(-1, 2)
+
+
+def geometric_graph(n: int, radius: float, seed: int = 0) -> GraphInput:
+    """Random geometric graph on the unit square — the wireless-network
+    motivation (frequency assignment) from the paper's introduction."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    return n, geometric_edges(pts, radius)
 
 
 def hard_mix_graph(

@@ -22,7 +22,8 @@ from repro.baselines.johansson import johansson_coloring
 from repro.baselines.luby import luby_coloring
 from repro.config import ColoringConfig
 from repro.core.algorithm import BroadcastColoring
-from repro.graphs.families import make_graph
+from repro.dynamic.engine import DynamicColoring
+from repro.graphs.families import make_churn, make_graph
 from repro.runner.spec import TrialResult, TrialSpec
 from repro.simulator.network import BroadcastNetwork
 
@@ -69,6 +70,10 @@ def _measure(spec: TrialSpec) -> tuple[dict[str, Any], dict[str, float]]:
     The payload is deterministic; ``timings`` (wall-clock seconds per
     phase, broadcast algorithm only) ride alongside for the perf
     trajectories and never enter the payload."""
+    if spec.algorithm == "dynamic":
+        payload, timings = _measure_dynamic(spec)
+        _check_finite(payload)
+        return payload, timings
     graph = make_graph(spec.family, spec.n, spec.avg_degree, spec.graph_seed())
     algo = None
     if spec.algorithm == "broadcast":
@@ -125,9 +130,57 @@ def _measure(spec: TrialSpec) -> tuple[dict[str, Any], dict[str, float]]:
         )
     else:  # pragma: no cover - guarded by TrialSpec.__post_init__
         raise ValueError(f"unknown algorithm: {spec.algorithm!r}")
+    _check_finite(payload)
+    return payload, timings
+
+
+def _check_finite(payload: dict[str, Any]) -> None:
     for value in payload.values():
         if isinstance(value, float) and not math.isfinite(value):
             raise ValueError(f"non-finite measurement in payload: {payload}")
+
+
+def _measure_dynamic(spec: TrialSpec) -> tuple[dict[str, Any], dict[str, float]]:
+    """Churn trial: a schedule from the spec's (churn or static) family,
+    maintained by the incremental engine.  Schedule shape comes from the
+    config's ``dynamic_batches``/``dynamic_churn_fraction`` knobs, so it
+    rides spec overrides — and the content hash — like any other tunable."""
+    cfg = _config_for(spec)
+    schedule = make_churn(
+        spec.family,
+        spec.n,
+        spec.avg_degree,
+        spec.graph_seed(),
+        batches=cfg.dynamic_batches,
+        churn_fraction=cfg.dynamic_churn_fraction,
+    )
+    engine = DynamicColoring(schedule, cfg)
+    result = engine.run(schedule)
+    summary = result.summary()
+    net = engine.net
+    total_bits = net.metrics.total_bits
+    payload: dict[str, Any] = {
+        **spec.as_dict(),
+        "n_actual": int(net.n),
+        "m": int(net.m),
+        "delta": int(net.delta),
+        "rounds": summary["total_rounds"],
+        "rounds_initial": summary["initial_rounds"],
+        "proper": summary["proper_all"],
+        "complete": summary["complete_all"],
+        "colors_within_budget": summary["colors_within_budget"],
+        "num_colors_used": engine.colors_used(),
+        "batches": summary["batches"],
+        "fallbacks": summary["fallbacks"],
+        "mean_conflict_fraction": summary["mean_conflict_fraction"],
+        "mean_recolored_fraction": summary["mean_recolored_fraction"],
+        "max_recolored_fraction": summary["max_recolored_fraction"],
+        "total_bits": int(total_bits),
+        "bits_per_node": float(total_bits / max(net.n, 1)),
+    }
+    timings = {
+        name: float(secs) for name, secs in net.metrics.phase_seconds.items()
+    }
     return payload, timings
 
 

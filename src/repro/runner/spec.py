@@ -23,7 +23,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Iterable, Mapping
 
-from repro.graphs.families import FAMILIES
+from repro.graphs.families import CHURN_FAMILIES, FAMILIES, split_family
 from repro.simulator.rng import SeedSequencer
 
 __all__ = [
@@ -36,7 +36,7 @@ __all__ = [
     "dedupe",
 ]
 
-ALGORITHMS = ("broadcast", "johansson", "luby", "greedy")
+ALGORITHMS = ("broadcast", "johansson", "luby", "greedy", "dynamic")
 
 _MATRIX_FIELDS = ("family", "n", "avg_degree", "algorithm", "preset")
 
@@ -56,10 +56,20 @@ class TrialSpec:
     (name, value) pairs — a tuple so the spec stays hashable."""
 
     def __post_init__(self) -> None:
-        if self.family not in FAMILIES:
+        base, arg = split_family(self.family)
+        if base not in FAMILIES and base not in CHURN_FAMILIES:
             raise ValueError(f"unknown family: {self.family!r}")
+        if arg is not None and base != "edgelist":
+            # Only the file-backed family carries a ':' argument; letting
+            # others through would content-hash 'gnp:x' apart from 'gnp'
+            # while running the identical trial.
+            raise ValueError(f"family {base!r} takes no ':' argument")
         if self.algorithm not in ALGORITHMS:
             raise ValueError(f"unknown algorithm: {self.algorithm!r}")
+        if base in CHURN_FAMILIES and self.algorithm != "dynamic":
+            raise ValueError(
+                f"churn family {self.family!r} requires algorithm='dynamic'"
+            )
         if self.preset not in ("practical", "paper"):
             raise ValueError(f"unknown preset: {self.preset!r}")
         object.__setattr__(
@@ -92,7 +102,15 @@ class TrialSpec:
 
     @property
     def key(self) -> str:
-        return spec_key(self)
+        # Cached on first access: file-backed families hash the snapshot
+        # file's bytes, and the key must stay stable for this instance's
+        # lifetime (the runner indexes by it before and after execution)
+        # even if the file changes mid-run.
+        cached = getattr(self, "_cached_key", None)
+        if cached is None:
+            cached = spec_key(self)
+            object.__setattr__(self, "_cached_key", cached)
+        return cached
 
     # -- derived randomness --------------------------------------------
     def graph_seed(self) -> int:
@@ -111,8 +129,23 @@ class TrialSpec:
 
 
 def spec_key(spec: TrialSpec) -> str:
-    """Content-hash key: 128-bit blake2b over the canonical JSON form."""
+    """Content-hash key: 128-bit blake2b over the canonical JSON form.
+
+    File-backed families (``edgelist:PATH``) fold the *file contents*
+    into the hash, not just the path — editing the snapshot must miss
+    the store, or cached results would go silently stale.  A missing
+    file hashes as such (the store lookup then consistently misses
+    fresh runs, which will fail loudly when the loader runs)."""
     blob = json.dumps(spec.as_dict(), sort_keys=True, separators=(",", ":"))
+    base, arg = split_family(spec.family)
+    if base == "edgelist" and arg:
+        try:
+            digest = hashlib.blake2b(
+                Path(arg).read_bytes(), digest_size=16
+            ).hexdigest()
+        except OSError:
+            digest = "missing"
+        blob += f"|edgelist-content:{digest}"
     return hashlib.blake2b(blob.encode(), digest_size=16).hexdigest()
 
 
@@ -139,10 +172,16 @@ class TrialResult:
     ``elapsed_s`` this lives *outside* the payload: it is machine-dependent
     and never feeds deterministic aggregation — only the perf trajectories
     (``BENCH_*.json``, see EXPERIMENTS.md)."""
+    stored_key: str | None = None
+    """The content-hash key recorded when this result was computed.
+    Results loaded from a store keep it so file-backed specs
+    (``edgelist:PATH``) whose file changed since *miss* the store —
+    recomputing the key on load would silently re-index stale results
+    under the new contents' hash."""
 
     @property
     def key(self) -> str:
-        return self.spec.key
+        return self.stored_key if self.stored_key is not None else self.spec.key
 
     @property
     def ok(self) -> bool:
@@ -172,6 +211,7 @@ class TrialResult:
             timings={
                 str(k): float(v) for k, v in dict(rec.get("timings") or {}).items()
             },
+            stored_key=rec.get("key"),
         )
 
 

@@ -163,6 +163,37 @@ class RoundMetrics:
             for _ in range(r):
                 self._notify(name, k)
 
+    def add_bulk_rounds(
+        self,
+        num_rounds: int,
+        num_messages: int,
+        bits_per_message: int,
+        phase: str | None = None,
+    ) -> None:
+        """Charge ``num_messages`` equal-size messages spread over
+        ``num_rounds`` rounds, in O(1) arithmetic.  Unlike
+        :meth:`add_uniform_rounds` the rounds need not have identical
+        broadcaster counts — this is the accounting shape of delta
+        announcements (``BroadcastNetwork.apply_delta``), where a node with
+        c incident changes pipelines them over max-c rounds."""
+        name = phase or self._current_phase
+        r = int(num_rounds)
+        if r <= 0:
+            return
+        b = int(bits_per_message)
+        k = int(num_messages)
+        for s in (self.phases[name], self.phases["total"]):
+            s.rounds += r
+            s.messages += k
+            s.total_bits += k * b
+            if k > 0:
+                s.max_message_bits = max(s.max_message_bits, b)
+        if self.observers:
+            per_round = k // r
+            extra = k - per_round * r
+            for i in range(r):
+                self._notify(name, per_round + (1 if i < extra else 0))
+
     def add_silent_round(self, phase: str | None = None) -> None:
         """A round in which no node broadcast (still costs a round)."""
         self.add_uniform_round(0, 1, phase=phase)

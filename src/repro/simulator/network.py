@@ -19,6 +19,8 @@ Both styles enforce the BCONGEST bandwidth cap: any message above
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -26,11 +28,45 @@ import numpy as np
 from repro.simulator.messages import Broadcast
 from repro.simulator.metrics import RoundMetrics
 
-__all__ = ["BroadcastNetwork", "BandwidthExceeded"]
+__all__ = ["BroadcastNetwork", "BandwidthExceeded", "DeltaReport"]
 
 
 class BandwidthExceeded(RuntimeError):
     """A broadcast exceeded the model's per-round bit budget."""
+
+
+@dataclass
+class DeltaReport:
+    """What one :meth:`BroadcastNetwork.apply_delta` call changed.
+
+    ``edges_added``/``edges_removed`` count *undirected* edges that
+    actually changed (no-op insertions of existing edges and deletions of
+    absent edges are dropped, and reported separately as ``ignored``).
+    ``rounds`` is the announcement cost charged to the metrics: a node
+    with c incident changes pipelines one O(log n)-bit announcement per
+    round, so the batch lands in max-c rounds.
+    """
+
+    edges_added: int = 0
+    edges_removed: int = 0
+    ignored: int = 0
+    rounds: int = 0
+    messages: int = 0
+    bits_per_message: int = 0
+    delta_before: int = 0
+    delta_after: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "edges_added": self.edges_added,
+            "edges_removed": self.edges_removed,
+            "ignored": self.ignored,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "bits_per_message": self.bits_per_message,
+            "delta_before": self.delta_before,
+            "delta_after": self.delta_after,
+        }
 
 
 def _edges_from_input(graph) -> tuple[int, np.ndarray]:
@@ -103,6 +139,17 @@ class BroadcastNetwork:
         else:
             src = np.empty(0, dtype=np.int64)
             dst = np.empty(0, dtype=np.int64)
+        self.bandwidth_bits = bandwidth_bits
+        self.metrics = metrics if metrics is not None else RoundMetrics()
+        self._set_csr(src, dst)
+
+    def _set_csr(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """(Re)build every derived array from sorted unique directed pairs.
+
+        ``src``/``dst`` must already be lexsorted by (src, dst) and free of
+        duplicates and self-loops — the contract both ``__init__`` and
+        :meth:`apply_delta` establish before calling."""
+        n = self.n
         self.indices = dst
         self.indptr = np.zeros(n + 1, dtype=np.int64)
         if src.size:
@@ -116,8 +163,6 @@ class BroadcastNetwork:
 
         self.degrees = np.diff(self.indptr).astype(np.int64)
         self.delta = int(self.degrees.max()) if n else 0
-        self.bandwidth_bits = bandwidth_bits
-        self.metrics = metrics if metrics is not None else RoundMetrics()
         self._adj_sets: list[set[int]] | None = None
 
     # ------------------------------------------------------------------
@@ -156,6 +201,119 @@ class BroadcastNetwork:
             has = self.degrees > 0
             out[has] = np.add.reduceat(inside, self.indptr[:-1][has])
         return out
+
+    # ------------------------------------------------------------------
+    # Dynamic topology (the repro.dynamic substrate)
+    # ------------------------------------------------------------------
+    def _normalize_delta_edges(self, edges: np.ndarray | None) -> np.ndarray:
+        """Undirected pair array → sorted unique *directed* key array
+        ``src·n + dst`` (both orientations, self-loops dropped)."""
+        if edges is None:
+            return np.empty(0, dtype=np.int64)
+        arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        arr = arr[arr[:, 0] != arr[:, 1]]
+        if arr.size and (arr.min() < 0 or arr.max() >= self.n):
+            raise ValueError("delta edge endpoint out of range")
+        if not arr.size:
+            return np.empty(0, dtype=np.int64)
+        keys = np.concatenate(
+            [arr[:, 0] * self.n + arr[:, 1], arr[:, 1] * self.n + arr[:, 0]]
+        )
+        return np.unique(keys)
+
+    def apply_delta(
+        self,
+        insert_edges: np.ndarray | None = None,
+        delete_edges: np.ndarray | None = None,
+        phase: str = "dynamic/delta",
+        silent_nodes: np.ndarray | None = None,
+    ) -> DeltaReport:
+        """Mutate the topology by a batch of edge deletions + insertions.
+
+        The update is one *sorted merge*: only the delta (size k) is
+        sorted; the 2m unchanged directed pairs keep the CSR order they
+        already have and are merged in O(m + k) — never re-lexsorted
+        (DESIGN.md §6).  Deletions are applied before insertions, so a
+        same-batch delete+insert of one edge is a net no-op.
+
+        Announcement traffic is charged through the shared metrics: each
+        endpoint of a changed edge broadcasts one ``⌈log₂ n⌉+1``-bit
+        (neighbor id, add/remove flag) message; a node with c incident
+        changes pipelines them, so the batch costs max-c rounds.  No-op
+        changes (inserting an existing edge, deleting an absent one) are
+        dropped before accounting.  ``silent_nodes`` (e.g. nodes powering
+        down in a departure) cannot broadcast: their announcements are
+        not charged — their neighbors still announce the shared edge's
+        other orientation.
+        """
+        old_keys = self.edge_src * self.n + self.indices  # sorted, unique
+        del_keys = self._normalize_delta_edges(delete_edges)
+        ins_keys = self._normalize_delta_edges(insert_edges)
+        ignored = 0
+
+        keep = np.ones(old_keys.size, dtype=bool)
+        if del_keys.size:
+            pos = np.searchsorted(old_keys, del_keys)
+            ok = pos < old_keys.size
+            ok[ok] = old_keys[pos[ok]] == del_keys[ok]
+            ignored += int((~ok).sum()) // 2
+            keep[pos[ok]] = False
+        kept = old_keys[keep]
+
+        if ins_keys.size:
+            pos = np.searchsorted(kept, ins_keys)
+            ok = pos < kept.size
+            present = np.zeros(ins_keys.size, dtype=bool)
+            present[ok] = kept[pos[ok]] == ins_keys[ok]
+            ignored += int(present.sum()) // 2
+            ins_keys = ins_keys[~present]
+            merged = np.insert(kept, np.searchsorted(kept, ins_keys), ins_keys)
+        else:
+            merged = kept
+
+        removed = int((~keep).sum()) // 2
+        added = ins_keys.size // 2
+        delta_before = self.delta
+
+        # Announcement accounting: every applied directed change is one
+        # message from its source endpoint.  The bandwidth check runs
+        # *before* the topology mutates, so a rejected delta leaves the
+        # network untouched.
+        changed_src = np.concatenate(
+            [old_keys[~keep] // self.n, ins_keys // self.n]
+        )
+        if silent_nodes is not None and changed_src.size:
+            silent = np.zeros(self.n, dtype=bool)
+            silent[np.asarray(silent_nodes, dtype=np.int64)] = True
+            changed_src = changed_src[~silent[changed_src]]
+        bits = int(math.ceil(math.log2(max(self.n, 2)))) + 1
+        if (
+            changed_src.size
+            and self.bandwidth_bits is not None
+            and bits > self.bandwidth_bits
+        ):
+            raise BandwidthExceeded(
+                f"delta announcement of {bits} bits exceeds cap "
+                f"{self.bandwidth_bits}"
+            )
+        self._set_csr(merged // self.n, merged % self.n)
+        if changed_src.size:
+            rounds = int(np.bincount(changed_src, minlength=self.n).max())
+            self.metrics.add_bulk_rounds(
+                rounds, int(changed_src.size), bits, phase=phase
+            )
+        else:
+            rounds = 0
+        return DeltaReport(
+            edges_added=added,
+            edges_removed=removed,
+            ignored=ignored,
+            rounds=rounds,
+            messages=int(changed_src.size),
+            bits_per_message=bits if changed_src.size else 0,
+            delta_before=delta_before,
+            delta_after=self.delta,
+        )
 
     # ------------------------------------------------------------------
     # The round engine (message-level)

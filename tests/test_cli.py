@@ -46,6 +46,23 @@ class TestParser:
         )
         assert args.min_exp == 8 and args.max_exp == 9
 
+    def test_typoed_family_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["color", "--family", "bogus"])
+        assert exc.value.code == 2  # argparse usage error, not a traceback
+        assert "invalid family" in capsys.readouterr().err
+
+    def test_edgelist_family_passes_parser(self):
+        args = build_parser().parse_args(["color", "--family", "edgelist:x.txt"])
+        assert args.family == "edgelist:x.txt"
+
+    def test_churn_parser_accepts_churn_and_static_families(self):
+        assert build_parser().parse_args(["churn"]).family == "gnp-churn"
+        args = build_parser().parse_args(["churn", "--family", "geometric"])
+        assert args.family == "geometric"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["churn", "--family", "bogus"])
+
 
 class TestCommands:
     def test_color_runs_and_succeeds(self, capsys):

@@ -31,9 +31,12 @@ class TestExamples:
         assert "rounds" in out
 
     def test_frequency_assignment(self):
-        out = run_example("frequency_assignment.py", "400", "0.08", "1")
+        out = run_example("frequency_assignment.py", "400", "0.08", "1", "3")
         assert "interference-free" in out
-        assert "broadcast (paper)" in out
+        assert "broadcast (maintained)" in out
+        assert "channels maintained in place" in out
+        # Three movement steps → three maintained-plan rows.
+        assert out.count("%") >= 3
 
     def test_scaling_study(self):
         out = run_example("scaling_study.py", "9", "1")
