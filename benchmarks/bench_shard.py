@@ -1,0 +1,209 @@
+"""E15 — multi-shard partitioned coloring: k workers + cut reconciliation
+vs the single-process pipeline.
+
+The claim the `repro.shard` subsystem makes (DESIGN.md §7): on graphs
+with partitionable structure, coloring k shard interiors in parallel and
+repairing the cut afterwards touches only a few percent of nodes during
+reconciliation — the cut is the whole cost of sharding — while the merged
+coloring stays proper and within the global Δ+1 budget, and a k=1 run is
+bit-identical to the unsharded pipeline.
+
+Tracked measurements (→ ``BENCH_shard.json`` at the repo root):
+
+* single-shard (k=1 ≡ the unsharded engine) vs k-shard wall-clock on the
+  identical graph, pool workers = k;
+* cut fraction, initial cut conflicts, nodes touched during
+  reconciliation (the < 5% acceptance bar), and cut-repair rounds;
+* partition wall-clock per strategy (greedy is the Python-loop part).
+
+Quick mode: ``REPRO_BENCH_SHARD_N`` / ``REPRO_BENCH_SHARD_DEG`` /
+``REPRO_BENCH_SHARD_K`` shrink the workload for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from _common import print_table, run_matrix
+from repro.config import ColoringConfig
+from repro.core.algorithm import BroadcastColoring
+from repro.graphs.families import make_graph
+from repro.runner.benchtrack import append_entry
+from repro.runner.spec import load_matrix
+from repro.shard import ShardedColoring, partition_nodes
+from repro.simulator.network import BroadcastNetwork
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TRAJECTORY = REPO_ROOT / "BENCH_shard.json"
+SPECS = REPO_ROOT / "benchmarks" / "specs" / "shard_quick.toml"
+
+
+def _workload():
+    n = int(os.environ.get("REPRO_BENCH_SHARD_N", "100000"))
+    deg = float(os.environ.get("REPRO_BENCH_SHARD_DEG", "20"))
+    k = int(os.environ.get("REPRO_BENCH_SHARD_K", "4"))
+    return n, deg, k
+
+
+@pytest.mark.benchmark(group="E15-shard")
+def test_e15_sharded_vs_single_tracked(benchmark):
+    """The tracked trajectory entry: one geometric graph, one unsharded
+    run, one k-shard run (greedy partition, pool of k workers).
+
+    Gates (CI perf-smoke re-asserts these from the trajectory): the
+    reconciled coloring is proper, complete and within Δ+1; zero
+    unresolved cut conflicts; < 5% of nodes touched during reconciliation;
+    k=1 output bit-identical to the single-process engine.
+    """
+    n, deg, k = _workload()
+    cfg = ColoringConfig.practical(seed=5)
+    graph = make_graph("geometric", n, deg, 1)
+    net = BroadcastNetwork(graph)
+
+    # Single-process reference (the identity anchor), timed.
+    t0 = time.perf_counter()
+    ref = BroadcastColoring((net.n, net.undirected_edges()), cfg).run()
+    single_s = time.perf_counter() - t0
+
+    # k=1 must reproduce it bit for bit.
+    k1 = ShardedColoring(graph, cfg, k=1).run()
+    assert np.array_equal(k1.colors, ref.colors), "k=1 diverged from unsharded"
+
+    # Pool size follows the machine: a pool wider than the core count
+    # only adds pickling overhead (1-core CI boxes run shards inline).
+    pool = max(1, min(k, os.cpu_count() or 1))
+    t0 = time.perf_counter()
+    sharded = ShardedColoring(
+        graph, cfg, k=k, strategy="greedy", workers=pool
+    ).run()
+    sharded_s = time.perf_counter() - t0
+    speedup = single_s / max(sharded_s, 1e-9)
+
+    print_table(
+        f"E15 sharded vs single (geometric, n={n}, avg_degree={deg:g}, "
+        f"k={k}, strategy=greedy)",
+        ["quantity", "value"],
+        [
+            ("cut fraction", f"{sharded.cut_fraction:.4f}"),
+            ("initial cut conflicts", f"{sharded.initial_conflicts}"),
+            ("touched fraction", f"{sharded.touched_fraction:.4f}"),
+            ("reconcile rounds", f"{sharded.reconcile_rounds}"),
+            ("interior rounds (max shard)", f"{sharded.rounds_interior}"),
+            ("colors used / Δ+1",
+             f"{sharded.num_colors_used} / {sharded.delta + 1}"),
+            ("single-process seconds", f"{single_s:.2f}"),
+            (f"{k}-shard seconds (pool={pool})", f"{sharded_s:.2f}"),
+            ("speedup", f"{speedup:.2f}x"),
+        ],
+    )
+
+    assert sharded.proper and sharded.complete, sharded.as_dict()
+    assert sharded.unresolved_conflicts == 0, sharded.as_dict()
+    assert sharded.num_colors_used <= sharded.delta + 1
+    assert sharded.touched_fraction < 0.05, (
+        f"reconciliation touched {sharded.touched_fraction:.2%} of nodes"
+    )
+
+    append_entry(
+        TRAJECTORY,
+        {
+            "n": n,
+            "avg_degree": deg,
+            "family": "geometric",
+            "k": k,
+            "strategy": "greedy",
+            "cut_edges": sharded.cut_edges,
+            "cut_fraction": round(sharded.cut_fraction, 5),
+            "initial_conflicts": sharded.initial_conflicts,
+            "reconcile_touched": sharded.reconcile_touched,
+            "touched_fraction": round(sharded.touched_fraction, 5),
+            "reconcile_rounds": sharded.reconcile_rounds,
+            "reconcile_iterations": sharded.reconcile_iterations,
+            "unresolved_conflicts": sharded.unresolved_conflicts,
+            "k1_identical": True,
+            "pool_workers": pool,
+            "single_s": round(single_s, 3),
+            "sharded_s": round(sharded_s, 3),
+            "speedup": round(speedup, 2),
+            "partition_s": round(
+                sharded.phase_seconds.get("shard/partition", 0.0), 3
+            ),
+            "interior_s": round(
+                sharded.phase_seconds.get("shard/interior", 0.0), 3
+            ),
+            "reconcile_s": round(
+                sharded.phase_seconds.get("shard/reconcile", 0.0), 3
+            ),
+        },
+        label=f"shard-n{n}-d{deg:g}-k{k}",
+    )
+    # Time one reconciliation-scale unit: re-partitioning the graph (the
+    # driver-side overhead sharding adds on top of the parallel interiors).
+    benchmark.pedantic(
+        lambda: partition_nodes(net, k, "greedy"), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.benchmark(group="E15-shard")
+def test_e15_partition_strategies(benchmark):
+    """Cut quality per strategy on the two structural extremes: greedy
+    must crush random on geometric graphs (locality) and never win on
+    G(n,p) expanders (no partitioner can)."""
+    n = min(int(os.environ.get("REPRO_BENCH_SHARD_N", "100000")), 20000)
+    rows = []
+    cuts: dict[tuple[str, str], float] = {}
+    for family in ("geometric", "gnp"):
+        net = BroadcastNetwork(make_graph(family, n, 16.0, 3))
+        for strategy in ("contiguous", "random", "greedy"):
+            t0 = time.perf_counter()
+            part = partition_nodes(net, 4, strategy, seed=0)
+            secs = time.perf_counter() - t0
+            stats = part.cut_stats(net)
+            cuts[(family, strategy)] = stats["cut_fraction"]
+            rows.append(
+                (family, strategy, f"{stats['cut_fraction']:.4f}",
+                 stats["boundary_nodes"], f"{secs:.3f}")
+            )
+    print_table(
+        f"E15 partition strategies (n={n}, k=4)",
+        ["family", "strategy", "cut fraction", "boundary nodes", "seconds"],
+        rows,
+    )
+    assert cuts[("geometric", "greedy")] < cuts[("geometric", "random")] / 3
+    net = BroadcastNetwork(make_graph("geometric", n, 16.0, 3))
+    benchmark.pedantic(
+        lambda: partition_nodes(net, 4, "greedy"), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.benchmark(group="E15-shard")
+def test_e15_quick_shard_matrix(benchmark):
+    """The shard acceptance matrix through the runner: every family ×
+    size × seed reconciles to zero unresolved conflicts, proper and
+    within budget, touching a bounded fraction of nodes."""
+    payloads = run_matrix(load_matrix(SPECS)).payloads()
+    rows = []
+    for p in payloads:
+        rows.append(
+            (p["family"], p["n"], p["seed"], p["k"], p["cut_edges"],
+             p["initial_conflicts"], p["reconcile_touched"],
+             p["unresolved_conflicts"])
+        )
+        assert p["proper"] and p["complete"], p
+        assert p["unresolved_conflicts"] == 0, p
+        assert p["num_colors_used"] <= p["delta"] + 1, p
+    print_table(
+        "E15 quick shard matrix (runner, algorithm=shard)",
+        ["family", "n", "seed", "k", "cut", "conflicts", "touched",
+         "unresolved"],
+        rows,
+    )
+    spec = load_matrix(SPECS)[0]
+    from repro.runner.execute import run_trial
+
+    benchmark.pedantic(lambda: run_trial(spec), rounds=1, iterations=1)

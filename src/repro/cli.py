@@ -5,6 +5,7 @@ writing Python.
     python -m repro compare --family blobs --n 4096 --seeds 3
     python -m repro decompose --cliques 8 --size 56
     python -m repro churn --family mobile --n 2000 --batches 12 --churn 0.05
+    python -m repro shard --family geometric --n 20000 --k 4 --strategy greedy
     python -m repro sweep --family blobs --min-exp 8 --max-exp 12 --workers 4
     python -m repro bench benchmarks/specs/quick.toml --workers 4 --out out.jsonl
 
@@ -45,6 +46,7 @@ from repro.runner import (
     mean_timings,
     summarize_payloads,
 )
+from repro.shard import STRATEGIES, ShardedColoring
 from repro.simulator.network import BroadcastNetwork
 
 __all__ = ["main", "build_parser", "make_graph"]
@@ -129,6 +131,41 @@ def cmd_churn(args: argparse.Namespace) -> int:
         summary["proper_all"]
         and summary["complete_all"]
         and summary["colors_within_budget"]
+    )
+    return 0 if ok else 1
+
+
+def cmd_shard(args: argparse.Namespace) -> int:
+    cfg = ColoringConfig.practical(
+        seed=args.seed,
+        shard_k=args.k,
+        shard_strategy=args.strategy,
+        conflict_victim=args.victim,
+    )
+    graph = make_graph(args.family, args.n, args.avg_degree, args.seed)
+    result = ShardedColoring(graph, cfg, workers=args.workers).run()
+    report = result.as_dict()
+    if args.json:
+        _emit(report, True)
+    else:
+        print(
+            f"family: {args.family}  n: {result.n}  k: {result.k}  "
+            f"strategy: {result.strategy}  delta: {result.delta}"
+        )
+        print("shard  interior     m_int  cut_edges  delta_i  colors  rounds")
+        for r in result.shard_reports:
+            print(
+                f"{r.shard:5d}  {r.n_interior:8d}  {r.m_interior:8d}  "
+                f"{r.cut_edges:9d}  {r.delta_interior:7d}  {r.colors_used:6d}  "
+                f"{r.rounds:6d}"
+            )
+        summary = {k: v for k, v in report.items() if k != "shards"}
+        _emit(summary, False)
+    ok = (
+        result.proper
+        and result.complete
+        and result.unresolved_conflicts == 0
+        and result.num_colors_used <= result.delta + 1
     )
     return 0 if ok else 1
 
@@ -397,6 +434,21 @@ def build_parser() -> argparse.ArgumentParser:
                               "recolors from scratch (>=1 never, <0 always)")
     p_churn.add_argument("--json", action="store_true")
     p_churn.set_defaults(fn=cmd_churn)
+
+    p_shard = sub.add_parser(
+        "shard", help="partitioned coloring: k shard workers + cut reconciliation"
+    )
+    common(p_shard)
+    p_shard.add_argument("--k", type=int, default=4,
+                         help="number of shards (1 = the single-process pipeline)")
+    p_shard.add_argument("--strategy", default="contiguous", choices=list(STRATEGIES),
+                         help="partition strategy (greedy = METIS-like balanced cut)")
+    p_shard.add_argument("--workers", type=int, default=1,
+                         help="process-pool size for shard interiors "
+                              "(1 = color shards inline, same results)")
+    p_shard.add_argument("--victim", default="id", choices=["id", "slack"],
+                         help="conflict victim selection during reconciliation")
+    p_shard.set_defaults(fn=cmd_shard)
 
     p_sweep = sub.add_parser("sweep", help="rounds vs n with growth-shape fits")
     common(p_sweep)

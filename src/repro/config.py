@@ -183,6 +183,32 @@ class ColoringConfig:
     fraction of current edges resampled (sliding-window families) or the
     mobility step scale (mobile geometric)."""
 
+    conflict_victim: str = "id"
+    """Victim selection for monochromatic-edge repair (shared by the
+    dynamic engine's conflict detector and the shard reconciler): "id"
+    uncolors the larger-ID endpoint (the original rule), "slack" uncolors
+    the endpoint with the larger palette — the node with more free colors
+    re-colors fastest, so the more constrained endpoint (smaller palette
+    slack) keeps its color and repair rounds shrink (ROADMAP item)."""
+
+    # --- multi-shard partitioned coloring (repro.shard, DESIGN.md §7) ---
+    shard_k: int = 4
+    """Number of shards the node universe is partitioned into for
+    ``algorithm="shard"`` runs (k=1 degenerates to the single-process
+    pipeline, bit for bit)."""
+
+    shard_strategy: str = "contiguous"
+    """Partition strategy: "contiguous" (balanced node-id blocks),
+    "random" (seeded permutation blocks) or "greedy" (METIS-like greedy
+    balanced graph growing, minimizing the cut on graphs with locality).
+    See :data:`repro.shard.partition.STRATEGIES`."""
+
+    shard_reconcile_max_iters: int = 10
+    """Upper bound on detect→repair sweeps of the cross-shard
+    reconciliation loop.  One sweep suffices when the repair kernel fully
+    re-colors its victims (adoption is proper by construction); extra
+    sweeps only fire when a repair stalls at the round cap."""
+
     # --- ablation switches (DESIGN.md design-choice experiments) ---
     enable_matching: bool = True
     """Off = skip the colorful matching (Lemma 2.9).  Ablation EA1: closed

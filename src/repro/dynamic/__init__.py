@@ -8,7 +8,15 @@ The subsystem that takes the repo from "color a frozen graph once" to
 ``algorithm="dynamic"`` trials.
 """
 
-from repro.dynamic.engine import BatchReport, DynamicColoring, DynamicResult
+from repro.dynamic.engine import (
+    BatchReport,
+    DynamicColoring,
+    DynamicResult,
+    VICTIM_POLICIES,
+    conflict_repair,
+    conflict_victims,
+    monochromatic_edges,
+)
 from repro.dynamic.events import ChurnSchedule, UpdateBatch
 
 __all__ = [
@@ -17,4 +25,8 @@ __all__ = [
     "DynamicColoring",
     "DynamicResult",
     "UpdateBatch",
+    "VICTIM_POLICIES",
+    "conflict_repair",
+    "conflict_victims",
+    "monochromatic_edges",
 ]

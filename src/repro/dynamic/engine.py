@@ -45,7 +45,163 @@ from repro.simulator.network import BroadcastNetwork
 from repro.simulator.rng import SeedSequencer
 from repro.util.bitio import bits_for_color
 
-__all__ = ["DynamicColoring", "BatchReport", "DynamicResult"]
+__all__ = [
+    "DynamicColoring",
+    "BatchReport",
+    "DynamicResult",
+    "conflict_victims",
+    "conflict_repair",
+    "monochromatic_edges",
+    "VICTIM_POLICIES",
+]
+
+VICTIM_POLICIES = ("id", "slack")
+
+
+def monochromatic_edges(
+    net: BroadcastNetwork, colors: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """The ``(hi, lo)`` endpoint arrays of every monochromatic undirected
+    edge under ``colors`` (``hi > lo``, each edge once) — the single
+    definition of "conflict" every detector and counter derives from."""
+    src, dst = net.edge_src, net.indices
+    mono = (colors[src] >= 0) & (colors[src] == colors[dst]) & (dst < src)
+    return src[mono], dst[mono]
+
+
+def _palette_sizes(
+    net: BroadcastNetwork,
+    colors: np.ndarray,
+    num_colors: int,
+    only: np.ndarray | None = None,
+) -> np.ndarray:
+    """|Ψ(v)| under palette ``[num_colors]`` — the standalone form of
+    :meth:`ColoringState.palette_sizes`, tolerant of out-of-range colors
+    (a neighbor colored beyond the palette forbids nothing inside it,
+    which matters mid-detect when Δ just shrank).  ``only`` (bool mask)
+    restricts the work to the listed nodes' neighborhoods; entries
+    outside it are meaningless."""
+    src = net.edge_src
+    dst_colors = colors[net.indices]
+    ok = (dst_colors >= 0) & (dst_colors < num_colors)
+    if only is not None:
+        ok &= only[src]
+    if not ok.any():
+        return np.full(net.n, num_colors, dtype=np.int64)
+    pairs = src[ok].astype(np.int64) * (num_colors + 1) + dst_colors[ok]
+    uniq = np.unique(pairs)
+    distinct = np.bincount(uniq // (num_colors + 1), minlength=net.n)
+    return num_colors - distinct.astype(np.int64)
+
+
+def conflict_victims(
+    net: BroadcastNetwork,
+    colors: np.ndarray,
+    policy: str = "id",
+    num_colors: int | None = None,
+    edges: tuple[np.ndarray, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Bool mask selecting one endpoint of every monochromatic edge — the
+    node that loses its color and re-runs the repair kernel.
+
+    ``policy`` (the ``conflict_victim`` config knob):
+
+    * ``"id"`` — the larger-ID endpoint, the original rule.
+    * ``"slack"`` — the endpoint with the *larger* palette: it has the
+      most free colors, so it re-colors in the fewest tries, while the
+      endpoint with smaller palette slack keeps its color (ROADMAP's
+      smarter-victim item; ties fall back to the larger ID).
+
+    ``edges`` passes a precomputed :func:`monochromatic_edges` result in,
+    for callers that also need the conflict count (one edge scan, not two).
+    """
+    if policy not in VICTIM_POLICIES:
+        raise ValueError(
+            f"unknown conflict_victim policy {policy!r} (choose from "
+            f"{VICTIM_POLICIES})"
+        )
+    hi, lo = edges if edges is not None else monochromatic_edges(net, colors)
+    out = np.zeros(net.n, dtype=bool)
+    if not hi.size:
+        return out
+    if policy == "id":
+        out[hi] = True
+        return out
+    if num_colors is None:
+        num_colors = net.delta + 1
+    # Palette sizes only for the conflict endpoints' neighborhoods — the
+    # conflict set is tiny next to the graph, so don't pay O(m log m).
+    endpoints = np.zeros(net.n, dtype=bool)
+    endpoints[hi] = True
+    endpoints[lo] = True
+    pal = _palette_sizes(net, colors, num_colors, only=endpoints)
+    pick_hi = pal[hi] >= pal[lo]
+    out[hi[pick_hi]] = True
+    out[lo[~pick_hi]] = True
+    return out
+
+
+def conflict_repair(
+    net: BroadcastNetwork,
+    colors: np.ndarray,
+    repair_set: np.ndarray,
+    num_colors: int,
+    cfg: ColoringConfig,
+    seq: SeedSequencer,
+    tag: object = 0,
+    phase: str = "repair",
+    mt_label: str = "repair-mt",
+) -> tuple[np.ndarray, bool, int]:
+    """The batched conflict-repair kernel shared by the dynamic engine and
+    the shard reconciler: re-color ``repair_set`` (uncolored node ids)
+    against the fixed fringe by re-running the existing kernels —
+    MultiTrial on ``[0, num_colors)`` when the set is large enough
+    (``dynamic_repair_*`` knobs), then TryColor rounds from true palettes.
+
+    Returns ``(colors, fully_colored, trycolor_rounds)``; the input
+    ``colors`` array is never mutated.  The fringe — colored neighbors of
+    the repair set — participates as listeners only: its colors constrain
+    palettes but never move.
+    """
+    repair_set = np.asarray(repair_set, dtype=np.int64)
+    if repair_set.size == 0:
+        return colors, True, 0
+    state = ColoringState(net, num_colors=num_colors)
+    state.colors = colors.copy()
+    if (
+        cfg.dynamic_repair_use_multitrial
+        and repair_set.size >= cfg.dynamic_repair_multitrial_min
+    ):
+        mask = np.zeros(net.n, dtype=bool)
+        mask[repair_set] = True
+        lo = np.zeros(net.n, dtype=np.int64)
+        hi = np.full(net.n, num_colors, dtype=np.int64)
+        multitrial(
+            state,
+            mask,
+            lo,
+            hi,
+            cfg,
+            seq.spawn(mt_label, tag),
+            phase=phase,
+        )
+    rounds = 0
+    sampler = palette_sampler(state)
+    while rounds < cfg.max_cleanup_rounds:
+        pending = repair_set[state.colors[repair_set] < 0]
+        if not pending.size:
+            break
+        try_color_round(
+            state,
+            pending,
+            sampler,
+            seq,
+            phase=phase,
+            round_tag=(tag, rounds),
+        )
+        rounds += 1
+    done = bool((state.colors[repair_set] >= 0).all())
+    return state.colors, done, rounds
 
 
 @dataclass
@@ -223,10 +379,9 @@ class DynamicColoring:
         # ---- 2. conflict detection on the new CSR --------------------
         with metrics.time_phase("dynamic/detect"):
             c = self.colors
-            src, dst = net.edge_src, net.indices
-            conflict = np.zeros(net.n, dtype=bool)
-            mono = (c[src] >= 0) & (c[src] == c[dst]) & (dst < src)
-            conflict[src[mono]] = True
+            conflict = conflict_victims(
+                net, c, policy=cfg.conflict_victim, num_colors=num_colors
+            )
             conflict |= self.active & (c >= num_colors)
             c[conflict] = -1
             # Touched *live* nodes re-broadcast their color so every
@@ -283,49 +438,24 @@ class DynamicColoring:
         )
 
     def _repair(self, repair_set: np.ndarray, num_colors: int, t: int) -> bool:
-        """Local repair: the existing batched kernels on the conflict set
-        only.  Returns False when the TryColor mop-up hit the round cap
-        (the caller then falls back)."""
-        cfg, net = self.cfg, self.net
+        """Local repair: the shared :func:`conflict_repair` kernel on the
+        conflict set only.  Returns False when the TryColor mop-up hit the
+        round cap (the caller then falls back)."""
         if repair_set.size == 0:
             return True
-        with net.metrics.time_phase("dynamic/repair"):
-            state = ColoringState(net, num_colors=num_colors)
-            state.colors = self.colors.copy()
-            if (
-                cfg.dynamic_repair_use_multitrial
-                and repair_set.size >= cfg.dynamic_repair_multitrial_min
-            ):
-                mask = np.zeros(net.n, dtype=bool)
-                mask[repair_set] = True
-                lo = np.zeros(net.n, dtype=np.int64)
-                hi = np.full(net.n, num_colors, dtype=np.int64)
-                multitrial(
-                    state,
-                    mask,
-                    lo,
-                    hi,
-                    cfg,
-                    self.seq.spawn("dyn-mt", t),
-                    phase="dynamic/repair",
-                )
-            rounds = 0
-            sampler = palette_sampler(state)
-            while rounds < cfg.max_cleanup_rounds:
-                pending = repair_set[state.colors[repair_set] < 0]
-                if not pending.size:
-                    break
-                try_color_round(
-                    state,
-                    pending,
-                    sampler,
-                    self.seq,
-                    phase="dynamic/repair",
-                    round_tag=(t, rounds),
-                )
-                rounds += 1
-            self.colors = state.colors
-        return bool((state.colors[repair_set] >= 0).all())
+        with self.net.metrics.time_phase("dynamic/repair"):
+            self.colors, done, _ = conflict_repair(
+                self.net,
+                self.colors,
+                repair_set,
+                num_colors,
+                self.cfg,
+                self.seq,
+                tag=t,
+                phase="dynamic/repair",
+                mt_label="dyn-mt",
+            )
+        return done
 
     def _full_recolor(self, t: int) -> None:
         """Recolor-from-scratch on the current topology (the fallback and

@@ -25,6 +25,7 @@ from repro.core.algorithm import BroadcastColoring
 from repro.dynamic.engine import DynamicColoring
 from repro.graphs.families import make_churn, make_graph
 from repro.runner.spec import TrialResult, TrialSpec
+from repro.shard.engine import ShardedColoring
 from repro.simulator.network import BroadcastNetwork
 
 __all__ = ["run_trial", "TrialTimeout"]
@@ -72,6 +73,10 @@ def _measure(spec: TrialSpec) -> tuple[dict[str, Any], dict[str, float]]:
     trajectories and never enter the payload."""
     if spec.algorithm == "dynamic":
         payload, timings = _measure_dynamic(spec)
+        _check_finite(payload)
+        return payload, timings
+    if spec.algorithm == "shard":
+        payload, timings = _measure_shard(spec)
         _check_finite(payload)
         return payload, timings
     graph = make_graph(spec.family, spec.n, spec.avg_degree, spec.graph_seed())
@@ -181,6 +186,45 @@ def _measure_dynamic(spec: TrialSpec) -> tuple[dict[str, Any], dict[str, float]]
     timings = {
         name: float(secs) for name, secs in net.metrics.phase_seconds.items()
     }
+    return payload, timings
+
+
+def _measure_shard(spec: TrialSpec) -> tuple[dict[str, Any], dict[str, float]]:
+    """Sharded trial: partition strategy and k come from the config's
+    ``shard_*`` knobs, so they ride spec overrides — and the content hash
+    — like any other tunable.  Shards color inline (``workers=1``): the
+    trial itself already runs inside a pool worker, and a sharded run is a
+    pure function of the spec at any worker count."""
+    cfg = _config_for(spec)
+    graph = make_graph(spec.family, spec.n, spec.avg_degree, spec.graph_seed())
+    engine = ShardedColoring(graph, cfg)
+    res = engine.run()
+    net = engine.net
+    payload: dict[str, Any] = {
+        **spec.as_dict(),
+        "n_actual": int(net.n),
+        "m": int(net.m),
+        "delta": int(net.delta),
+        "k": res.k,
+        "strategy": res.strategy,
+        "rounds": int(res.rounds_total),
+        "rounds_interior": int(res.rounds_interior),
+        "proper": bool(res.proper),
+        "complete": bool(res.complete),
+        "num_colors_used": int(res.num_colors_used),
+        "cut_edges": int(res.cut_edges),
+        "cut_fraction": float(res.cut_fraction),
+        "boundary_nodes": int(res.boundary_nodes),
+        "initial_conflicts": int(res.initial_conflicts),
+        "reconcile_touched": int(res.reconcile_touched),
+        "touched_fraction": float(res.touched_fraction),
+        "reconcile_rounds": int(res.reconcile_rounds),
+        "reconcile_iterations": int(res.reconcile_iterations),
+        "unresolved_conflicts": int(res.unresolved_conflicts),
+        "total_bits": int(res.total_bits),
+        "bits_per_node": float(res.total_bits / max(net.n, 1)),
+    }
+    timings = {name: float(secs) for name, secs in res.phase_seconds.items()}
     return payload, timings
 
 

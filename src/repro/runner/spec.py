@@ -36,7 +36,7 @@ __all__ = [
     "dedupe",
 ]
 
-ALGORITHMS = ("broadcast", "johansson", "luby", "greedy", "dynamic")
+ALGORITHMS = ("broadcast", "johansson", "luby", "greedy", "dynamic", "shard")
 
 _MATRIX_FIELDS = ("family", "n", "avg_degree", "algorithm", "preset")
 

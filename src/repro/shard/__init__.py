@@ -1,0 +1,23 @@
+"""Multi-shard partitioned coloring (DESIGN.md §7).
+
+The first layer where the proper-coloring invariant is a *distributed*
+property: the node universe is split across k workers, each colors its
+shard's interior on the induced CSR (plus a read-only ghost frontier of
+cut neighbors), and the driver re-establishes propriety across the cut
+with the batched conflict-repair kernel — by protocol, not by
+construction.  Partitioners in :mod:`repro.shard.partition`, driver in
+:mod:`repro.shard.engine`, surface via ``repro shard`` and the runner's
+``algorithm="shard"`` trials.
+"""
+
+from repro.shard.engine import ShardedColoring, ShardedResult, ShardReport
+from repro.shard.partition import STRATEGIES, Partition, partition_nodes
+
+__all__ = [
+    "Partition",
+    "STRATEGIES",
+    "ShardReport",
+    "ShardedColoring",
+    "ShardedResult",
+    "partition_nodes",
+]

@@ -1,0 +1,386 @@
+"""Multi-shard partitioned coloring: color shard interiors in parallel,
+reconcile the cut (DESIGN.md §7).
+
+The control flow of :class:`ShardedColoring.run`:
+
+1. **partition** — split [n] into k shards
+   (:func:`repro.shard.partition.partition_nodes`) and extract one
+   :class:`~repro.simulator.network.ShardView` per shard: the interior
+   induced CSR plus the read-only ghost frontier of cut neighbors.
+2. **interior** — each shard's interior subgraph is colored by the full
+   existing pipeline (:class:`BroadcastColoring`), one worker per shard on
+   a ``ProcessPoolExecutor`` (``workers=1`` runs inline — same results,
+   the determinism reference).  No worker ever sees edges beyond its view.
+   An interior coloring uses ≤ Δ_i+1 ≤ Δ+1 colors, so the merged global
+   coloring is within budget and proper on every *interior* edge by
+   construction — only cut edges can be monochromatic.
+3. **merge** — interior colors scatter into the global array; the
+   per-shard :class:`RoundMetrics` fold into the driver's account by
+   parallel composition (max rounds, summed traffic —
+   :meth:`RoundMetrics.absorb_parallel`).
+4. **reconcile** — boundary nodes broadcast their colors (one round per
+   sweep); monochromatic cut edges surrender one endpoint each
+   (:func:`repro.dynamic.engine.conflict_victims`, the ``conflict_victim``
+   knob) and the victims re-color against the fixed fringe with the
+   batched :func:`repro.dynamic.engine.conflict_repair` kernel, iterating
+   until cut-clean.  Because repair adoption is proper by construction,
+   one sweep suffices unless a repair stalls at the round cap.
+
+The proper-coloring invariant is thus re-established *by protocol*: no
+single worker ever holds the whole graph, and the driver only ever
+touches the cut.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import ColoringConfig
+from repro.core.algorithm import BroadcastColoring
+from repro.dynamic.engine import (
+    conflict_repair,
+    conflict_victims,
+    monochromatic_edges,
+)
+from repro.shard.partition import Partition, partition_nodes
+from repro.simulator.metrics import RoundMetrics
+from repro.simulator.network import BroadcastNetwork, ShardView
+from repro.simulator.rng import SeedSequencer
+from repro.util.bitio import bits_for_color
+
+__all__ = ["ShardedColoring", "ShardReport", "ShardedResult"]
+
+
+@dataclass
+class ShardReport:
+    """What one shard worker produced (cost + quality, per shard)."""
+
+    shard: int
+    n_interior: int
+    m_interior: int
+    cut_edges: int
+    delta_interior: int
+    colors_used: int
+    rounds: int
+    total_bits: int
+    proper: bool
+    complete: bool
+    seconds: float
+
+    def as_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "n_interior": self.n_interior,
+            "m_interior": self.m_interior,
+            "cut_edges": self.cut_edges,
+            "delta_interior": self.delta_interior,
+            "colors_used": self.colors_used,
+            "rounds": self.rounds,
+            "total_bits": self.total_bits,
+            "proper": self.proper,
+            "complete": self.complete,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+@dataclass
+class ShardedResult:
+    """A full sharded run: merged coloring + per-shard and cut accounts."""
+
+    colors: np.ndarray
+    n: int
+    k: int
+    strategy: str
+    delta: int
+    proper: bool
+    complete: bool
+    num_colors_used: int
+    shard_sizes: list[int]
+    cut_edges: int
+    cut_fraction: float
+    boundary_nodes: int
+    initial_conflicts: int
+    """Monochromatic cut edges right after the merge (before any repair)."""
+    reconcile_touched: int
+    """Nodes whose color changed during cut reconciliation."""
+    reconcile_rounds: int
+    reconcile_iterations: int
+    unresolved_conflicts: int
+    rounds_interior: int
+    """Parallel-composed interior rounds (max over shards)."""
+    rounds_total: int
+    total_bits: int
+    seconds: float
+    shard_reports: list[ShardReport] = field(default_factory=list)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def touched_fraction(self) -> float:
+        return self.reconcile_touched / max(self.n, 1)
+
+    def as_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "k": self.k,
+            "strategy": self.strategy,
+            "delta": self.delta,
+            "proper": self.proper,
+            "complete": self.complete,
+            "num_colors_used": self.num_colors_used,
+            "shard_sizes": list(self.shard_sizes),
+            "cut_edges": self.cut_edges,
+            "cut_fraction": round(self.cut_fraction, 6),
+            "boundary_nodes": self.boundary_nodes,
+            "initial_conflicts": self.initial_conflicts,
+            "reconcile_touched": self.reconcile_touched,
+            "touched_fraction": round(self.touched_fraction, 6),
+            "reconcile_rounds": self.reconcile_rounds,
+            "reconcile_iterations": self.reconcile_iterations,
+            "unresolved_conflicts": self.unresolved_conflicts,
+            "rounds_interior": self.rounds_interior,
+            "rounds_total": self.rounds_total,
+            "total_bits": self.total_bits,
+            "seconds": round(self.seconds, 6),
+            "shards": [r.as_dict() for r in self.shard_reports],
+        }
+
+
+def _color_shard(view: ShardView, cfg: ColoringConfig) -> dict:
+    """Worker-side pure function: color one shard's interior subgraph.
+
+    Module-level (picklable) so ``ProcessPoolExecutor`` workers can run it;
+    the result is a pure function of ``(view, cfg)``, which is what makes
+    pool and inline execution byte-identical.  The view's ghost frontier is
+    read-only metadata here — interior coloring happens strictly on the
+    interior-induced CSR.
+    """
+    t0 = time.perf_counter()
+    if view.n_interior == 0:
+        return {
+            "shard": view.shard,
+            "colors": np.empty(0, dtype=np.int64),
+            "metrics": RoundMetrics(),
+            "report": ShardReport(
+                shard=view.shard, n_interior=0, m_interior=0,
+                cut_edges=int(view.cut_edges.shape[0]), delta_interior=0,
+                colors_used=0, rounds=0, total_bits=0, proper=True,
+                complete=True, seconds=time.perf_counter() - t0,
+            ),
+        }
+    sub = BroadcastNetwork(view.interior_graph())
+    # The bandwidth cap is a property of the *global* model: messages must
+    # fit O(log n_global) bits no matter which shard sends them.
+    sub.bandwidth_bits = cfg.bandwidth_bits(view.n_global)
+    result = BroadcastColoring(sub, cfg).run()
+    used = result.colors[result.colors >= 0]
+    report = ShardReport(
+        shard=view.shard,
+        n_interior=view.n_interior,
+        m_interior=int(sub.m),
+        cut_edges=int(view.cut_edges.shape[0]),
+        delta_interior=int(sub.delta),
+        colors_used=int(np.unique(used).size) if used.size else 0,
+        rounds=int(result.rounds_total),
+        total_bits=int(result.total_bits),
+        proper=bool(result.proper),
+        complete=bool(result.complete),
+        seconds=time.perf_counter() - t0,
+    )
+    return {
+        "shard": view.shard,
+        "colors": result.colors,
+        "metrics": sub.metrics,
+        "report": report,
+    }
+
+
+def _pool_color_shard(args: tuple[ShardView, ColoringConfig]) -> dict:
+    """``ProcessPoolExecutor.map`` entry point (single-argument)."""
+    return _color_shard(*args)
+
+
+class ShardedColoring:
+    """Partitioned (Δ+1)-coloring: k shard interiors in parallel, then
+    cut reconciliation.
+
+    >>> from repro.graphs.generators import gnp_graph
+    >>> result = ShardedColoring(gnp_graph(300, 0.05, seed=1), k=4).run()
+    >>> assert result.proper and result.complete
+
+    Parameters
+    ----------
+    graph:
+        ``networkx.Graph``, ``(n, edges)`` pair or a ready
+        :class:`BroadcastNetwork` (the driver's coordinator copy; workers
+        only ever see their :class:`ShardView`).
+    config:
+        :class:`ColoringConfig`; ``shard_*`` and ``conflict_victim`` knobs
+        drive partitioning and reconciliation.
+    k / strategy:
+        Override the config's ``shard_k`` / ``shard_strategy``.
+    workers:
+        Process-pool size for the interior phase; ``1`` (default) colors
+        shards inline in spec order — identical results, no pool.
+    """
+
+    def __init__(
+        self,
+        graph,
+        config: ColoringConfig | None = None,
+        k: int | None = None,
+        strategy: str | None = None,
+        workers: int = 1,
+    ):
+        self.cfg = config or ColoringConfig.practical()
+        self.k = int(k) if k is not None else self.cfg.shard_k
+        self.strategy = strategy if strategy is not None else self.cfg.shard_strategy
+        self.workers = max(1, int(workers))
+        if isinstance(graph, BroadcastNetwork):
+            self.net = graph
+        else:
+            self.net = BroadcastNetwork(graph)
+        if self.net.bandwidth_bits is None:
+            self.net.bandwidth_bits = self.cfg.bandwidth_bits(self.net.n)
+        self.seq = SeedSequencer(self.cfg.seed).spawn("shard")
+
+    # ------------------------------------------------------------------
+    def _shard_config(self, shard: int) -> ColoringConfig:
+        """Per-shard coloring config.  k=1 keeps the root config untouched
+        so a single-shard run is *bit-identical* to the single-process
+        pipeline; k>1 derives independent per-shard seeds (local node ids
+        overlap across shards, so sharing the root seed would correlate
+        their coin flips)."""
+        if self.k == 1:
+            return self.cfg
+        return self.cfg.with_seed(self.seq.derive_seed("color", shard))
+
+    def run(self) -> ShardedResult:
+        cfg, net = self.cfg, self.net
+        metrics = net.metrics
+        t0 = time.perf_counter()
+        rounds_before = metrics.total_rounds
+        bits_before = metrics.total_bits
+
+        # ---- 1. partition + view extraction --------------------------
+        with metrics.time_phase("shard/partition"):
+            part = partition_nodes(net, self.k, self.strategy, seed=cfg.seed)
+            views = [
+                net.induced_subgraph(part.assignment == i, shard=i)
+                for i in range(self.k)
+            ]
+            # One cut scan serves everything downstream (stats, boundary).
+            und = net.undirected_edges()
+            cut_mask = part.assignment[und[:, 0]] != part.assignment[und[:, 1]]
+            cut_edge_count = int(cut_mask.sum())
+            boundary = (
+                np.unique(und[cut_mask].reshape(-1))
+                if cut_edge_count
+                else np.empty(0, dtype=np.int64)
+            )
+
+        # ---- 2. interior coloring (parallel over shards) -------------
+        with metrics.time_phase("shard/interior"):
+            tasks = [(views[i], self._shard_config(i)) for i in range(self.k)]
+            if self.workers > 1 and self.k > 1:
+                with ProcessPoolExecutor(max_workers=min(self.workers, self.k)) as pool:
+                    outs = list(pool.map(_pool_color_shard, tasks))
+            else:
+                outs = [_color_shard(v, c) for v, c in tasks]
+
+            # ---- 3. merge ------------------------------------------------
+            colors = np.full(net.n, -1, dtype=np.int64)
+            for view, out in zip(views, outs):
+                colors[view.nodes] = out["colors"]
+            metrics.absorb_parallel(
+                [out["metrics"] for out in outs], phase="shard/interior"
+            )
+        shard_reports = [out["report"] for out in outs]
+        rounds_interior = max((r.rounds for r in shard_reports), default=0)
+
+        # ---- 4. cut reconciliation -----------------------------------
+        num_colors = net.delta + 1
+        color_bits = bits_for_color(max(net.delta, 1))
+        touched = np.zeros(net.n, dtype=bool)
+        initial_conflicts = 0
+        iterations = 0
+        unresolved = 0
+        reconcile_rounds_before = metrics.rounds_in("shard/reconcile")
+        with metrics.time_phase("shard/reconcile"):
+            while iterations < cfg.shard_reconcile_max_iters:
+                # Boundary nodes broadcast their color: one sync round per
+                # sweep — the detection information of the protocol.
+                net.account_vector_round(
+                    int(boundary.size), color_bits, phase="shard/reconcile"
+                )
+                mono = monochromatic_edges(net, colors)
+                unresolved = int(mono[0].size)
+                if iterations == 0:
+                    initial_conflicts = unresolved
+                victims = conflict_victims(
+                    net,
+                    colors,
+                    policy=cfg.conflict_victim,
+                    num_colors=num_colors,
+                    edges=mono,
+                )
+                pending = victims | (colors < 0)
+                if not pending.any():
+                    break
+                touched |= pending
+                colors[victims] = -1
+                colors, _, _ = conflict_repair(
+                    net,
+                    colors,
+                    np.flatnonzero(colors < 0),
+                    num_colors,
+                    cfg,
+                    self.seq,
+                    tag=iterations,
+                    phase="shard/reconcile",
+                    mt_label="shard-mt",
+                )
+                iterations += 1
+        if iterations == cfg.shard_reconcile_max_iters:
+            # The loop exited on the cap, not on a clean sweep: recount.
+            unresolved = int(monochromatic_edges(net, colors)[0].size)
+        reconcile_rounds = (
+            metrics.rounds_in("shard/reconcile") - reconcile_rounds_before
+        )
+
+        src, dst = net.edge_src, net.indices
+        proper = not bool(((colors[src] >= 0) & (colors[src] == colors[dst])).any())
+        complete = bool((colors >= 0).all())
+        used = colors[colors >= 0]
+        return ShardedResult(
+            colors=colors,
+            n=net.n,
+            k=self.k,
+            strategy=self.strategy,
+            delta=net.delta,
+            proper=proper,
+            complete=complete,
+            num_colors_used=int(np.unique(used).size) if used.size else 0,
+            shard_sizes=[int(s) for s in part.sizes()],
+            cut_edges=cut_edge_count,
+            cut_fraction=cut_edge_count / max(net.m, 1),
+            boundary_nodes=int(boundary.size),
+            initial_conflicts=initial_conflicts,
+            reconcile_touched=int(touched.sum()),
+            reconcile_rounds=reconcile_rounds,
+            reconcile_iterations=iterations,
+            unresolved_conflicts=unresolved,
+            rounds_interior=rounds_interior,
+            rounds_total=metrics.total_rounds - rounds_before,
+            total_bits=metrics.total_bits - bits_before,
+            seconds=time.perf_counter() - t0,
+            shard_reports=shard_reports,
+            phase_seconds={
+                name: float(secs)
+                for name, secs in metrics.phase_seconds.items()
+                if name.startswith("shard/")
+            },
+        )

@@ -221,6 +221,31 @@ class RoundMetrics:
         """Phase → stats dict, including "total"."""
         return {name: stats.as_dict() for name, stats in self.phases.items()}
 
+    def absorb_parallel(
+        self, others: Iterable["RoundMetrics"], phase: str
+    ) -> None:
+        """Fold the accounts of *concurrently executing* groups into this
+        one under ``phase`` — the parallel-composition rule of the shard
+        subsystem (DESIGN.md §7): the groups run through the same
+        synchronous rounds side by side, so the global round counter
+        advances by the **max** over groups, while messages and bits (real
+        traffic, wherever it happened) **add up**.  Wall-clock is *not*
+        folded: the caller's surrounding ``time_phase`` block already
+        measures the true elapsed time of the parallel section."""
+        groups = [o for o in others if o is not None]
+        if not groups:
+            return
+        rounds = max(g.total_rounds for g in groups)
+        messages = sum(g.phases["total"].messages for g in groups)
+        bits = sum(g.total_bits for g in groups)
+        max_bits = max(g.max_message_bits for g in groups)
+        for s in (self.phases[phase], self.phases["total"]):
+            s.rounds += rounds
+            s.messages += messages
+            s.total_bits += bits
+            if messages > 0:
+                s.max_message_bits = max(s.max_message_bits, max_bits)
+
     def merged_with(self, other: "RoundMetrics") -> "RoundMetrics":
         """Combine two metric sets (used when composing pipelines)."""
         out = RoundMetrics()

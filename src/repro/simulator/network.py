@@ -28,7 +28,7 @@ import numpy as np
 from repro.simulator.messages import Broadcast
 from repro.simulator.metrics import RoundMetrics
 
-__all__ = ["BroadcastNetwork", "BandwidthExceeded", "DeltaReport"]
+__all__ = ["BroadcastNetwork", "BandwidthExceeded", "DeltaReport", "ShardView"]
 
 
 class BandwidthExceeded(RuntimeError):
@@ -67,6 +67,54 @@ class DeltaReport:
             "delta_before": self.delta_before,
             "delta_after": self.delta_after,
         }
+
+
+@dataclass
+class ShardView:
+    """One shard's worker-visible slice of a partitioned graph — everything
+    a :mod:`repro.shard` worker is allowed to see (DESIGN.md §7).
+
+    The *interior* (``nodes`` + ``interior_edges``) is the worker's to
+    color.  The *frontier* (``ghost_nodes`` + ``cut_edges``) is strictly
+    read-only: ghost nodes belong to other shards, their state is never
+    known during interior coloring and never written by anyone but their
+    owner.  The frontier arrays are handed out with ``writeable=False`` so
+    a buggy worker mutating its ghosts fails loudly instead of silently
+    corrupting the distributed invariant.
+    """
+
+    shard: int
+    n_global: int
+    nodes: np.ndarray
+    """Global ids of the interior nodes, sorted ascending; local id i is
+    ``nodes[i]`` (the relabeling every other array uses)."""
+    interior_edges: np.ndarray
+    """(m_i, 2) interior-interior undirected edges in *local* ids."""
+    ghost_nodes: np.ndarray
+    """Global ids of the cut neighbors (frontier), sorted; read-only."""
+    cut_edges: np.ndarray
+    """(m_c, 2) cut edges as (local interior id, ghost index into
+    ``ghost_nodes``); read-only."""
+
+    @property
+    def n_interior(self) -> int:
+        return int(self.nodes.size)
+
+    @property
+    def n_ghost(self) -> int:
+        return int(self.ghost_nodes.size)
+
+    def interior_graph(self) -> tuple[int, np.ndarray]:
+        """The ``(n, edges)`` pair of the interior-induced subgraph, the
+        worker's coloring instance."""
+        return self.n_interior, self.interior_edges
+
+    def cut_degrees(self) -> np.ndarray:
+        """Per interior node, its number of cut (ghost) neighbors."""
+        out = np.zeros(self.n_interior, dtype=np.int64)
+        if self.cut_edges.size:
+            out += np.bincount(self.cut_edges[:, 0], minlength=self.n_interior)
+        return out
 
 
 def _edges_from_input(graph) -> tuple[int, np.ndarray]:
@@ -201,6 +249,57 @@ class BroadcastNetwork:
             has = self.degrees > 0
             out[has] = np.add.reduceat(inside, self.indptr[:-1][has])
         return out
+
+    def induced_subgraph(self, members: np.ndarray, shard: int = 0) -> ShardView:
+        """Extract the induced subgraph of ``members`` (bool mask or id
+        array) with *frontier ghosting* — the :class:`ShardView` a
+        :mod:`repro.shard` worker receives.
+
+        Interior-interior edges are relabeled into local ids
+        ``0..|members|-1`` (the worker's coloring instance); edges with
+        exactly one endpoint inside become cut edges against the ghost
+        frontier (the outside endpoints, deduplicated).  The frontier
+        arrays come back write-protected — the ghost contract is enforced
+        by numpy, not by convention.
+        """
+        mask = np.asarray(members)
+        if mask.dtype != np.bool_:
+            idx = np.asarray(members, dtype=np.int64)
+            mask = np.zeros(self.n, dtype=bool)
+            mask[idx] = True
+        nodes = np.flatnonzero(mask).astype(np.int64)
+        local = np.full(self.n, -1, dtype=np.int64)
+        local[nodes] = np.arange(nodes.size, dtype=np.int64)
+        und = self._und_edges
+        if und.size:
+            in_u, in_v = mask[und[:, 0]], mask[und[:, 1]]
+            both = in_u & in_v
+            interior = np.stack(
+                [local[und[both, 0]], local[und[both, 1]]], axis=1
+            )
+            cross = in_u ^ in_v
+            ce = und[cross]
+            inner_end = np.where(in_u[cross], ce[:, 0], ce[:, 1])
+            ghost_end = np.where(in_u[cross], ce[:, 1], ce[:, 0])
+            ghost_nodes = np.unique(ghost_end)
+            cut = np.stack(
+                [local[inner_end], np.searchsorted(ghost_nodes, ghost_end)],
+                axis=1,
+            )
+        else:
+            interior = np.empty((0, 2), dtype=np.int64)
+            ghost_nodes = np.empty(0, dtype=np.int64)
+            cut = np.empty((0, 2), dtype=np.int64)
+        ghost_nodes.flags.writeable = False
+        cut.flags.writeable = False
+        return ShardView(
+            shard=int(shard),
+            n_global=self.n,
+            nodes=nodes,
+            interior_edges=interior,
+            ghost_nodes=ghost_nodes,
+            cut_edges=cut,
+        )
 
     # ------------------------------------------------------------------
     # Dynamic topology (the repro.dynamic substrate)

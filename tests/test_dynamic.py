@@ -553,3 +553,79 @@ class TestRunnerIntegration:
                          seed=4, algorithm="dynamic")
         a, b = run_trial(spec), run_trial(spec)
         assert a.payload == b.payload
+
+
+# ----------------------------------------------------------------------
+# Conflict victim selection (the conflict_victim knob, ISSUE 5 satellite)
+# ----------------------------------------------------------------------
+class TestConflictVictims:
+    def test_id_policy_picks_larger_endpoint(self):
+        from repro.dynamic import conflict_victims
+
+        net = BroadcastNetwork((4, [(0, 1), (1, 2), (2, 3)]))
+        colors = np.array([0, 0, 1, -1], dtype=np.int64)  # (0,1) mono
+        victims = conflict_victims(net, colors, policy="id")
+        assert victims.tolist() == [False, True, False, False]
+
+    def test_slack_policy_uncolors_roomier_endpoint(self):
+        from repro.dynamic import conflict_victims
+
+        # Edge (0,1) monochromatic with color 0; node 1 also sees a
+        # neighbor colored 1, so Ψ(1) = {2} while Ψ(0) = {1, 2}: node 0
+        # has the larger palette and is the victim under "slack" (the
+        # constrained endpoint keeps its color), while "id" blames node 1.
+        net = BroadcastNetwork((3, [(0, 1), (1, 2)]))
+        colors = np.array([0, 0, 1], dtype=np.int64)
+        slack = conflict_victims(net, colors, policy="slack", num_colors=3)
+        assert slack.tolist() == [True, False, False]
+        by_id = conflict_victims(net, colors, policy="id", num_colors=3)
+        assert by_id.tolist() == [False, True, False]
+
+    def test_slack_ties_fall_back_to_larger_id(self):
+        from repro.dynamic import conflict_victims
+
+        net = BroadcastNetwork((2, [(0, 1)]))
+        colors = np.array([0, 0], dtype=np.int64)
+        victims = conflict_victims(net, colors, policy="slack", num_colors=2)
+        assert victims.tolist() == [False, True]
+
+    def test_unknown_policy_raises(self):
+        from repro.dynamic import conflict_victims
+
+        net = BroadcastNetwork((2, [(0, 1)]))
+        with pytest.raises(ValueError):
+            conflict_victims(net, np.array([0, 0]), policy="degree")
+
+    def test_no_mono_edges_no_victims(self):
+        from repro.dynamic import conflict_victims
+
+        net = BroadcastNetwork((3, [(0, 1), (1, 2)]))
+        assert not conflict_victims(net, np.array([0, 1, 0])).any()
+
+    @pytest.mark.parametrize("policy", ["id", "slack"])
+    def test_invariant_holds_under_both_policies(self, policy):
+        sched = make_churn("blobs-churn", 200, 16.0, seed=3, batches=4)
+        cfg = ColoringConfig.practical(seed=1, conflict_victim=policy)
+        summary = DynamicColoring(sched, cfg).run(sched).summary()
+        assert summary["proper_all"] and summary["complete_all"]
+        assert summary["colors_within_budget"]
+
+    def test_slack_policy_never_increases_repair_rounds_on_blobs_churn(self):
+        """The ROADMAP claim behind the knob: preferring the endpoint with
+        more palette headroom as victim shrinks (or at worst matches) the
+        repair-round bill on dense churn."""
+        totals = {}
+        for policy in ("id", "slack"):
+            rounds = 0
+            for seed in (0, 1, 2):
+                sched = make_churn("blobs-churn", 400, 16.0, seed=seed, batches=5)
+                cfg = ColoringConfig.practical(
+                    seed=7, conflict_victim=policy,
+                    dynamic_fallback_fraction=1.5,
+                )
+                res = DynamicColoring(sched, cfg).run(sched)
+                summary = res.summary()
+                assert summary["proper_all"] and summary["fallbacks"] == 0
+                rounds += summary["total_rounds"]
+            totals[policy] = rounds
+        assert totals["slack"] <= totals["id"], totals

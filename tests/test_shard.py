@@ -1,0 +1,359 @@
+"""Tests for the multi-shard subsystem (repro.shard + induced_subgraph +
+the shared conflict kernel).
+
+The load-bearing guarantee (ISSUE 5 acceptance): for any graph, partition
+strategy and k, the reconciled coloring is proper, complete, and uses at
+most Δ+1 colors — and k=1 is *bit-identical* to the single-process
+pipeline.  Propriety here is a distributed property: interior edges are
+proper by construction, the cut only by protocol, so the suite leans on
+brute-force edge checks rather than the engine's own verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import brute_force_proper
+from repro.config import ColoringConfig
+from repro.core.algorithm import BroadcastColoring
+from repro.graphs.families import make_graph
+from repro.graphs.generators import geometric_graph, gnp_graph
+from repro.runner import ParallelRunner, ResultStore, TrialSpec, load_matrix
+from repro.runner.execute import run_trial
+from repro.shard import STRATEGIES, ShardedColoring, partition_nodes
+from repro.shard.engine import _color_shard
+from repro.simulator.network import BroadcastNetwork
+
+QUICK_MATRIX = "benchmarks/specs/quick.toml"
+
+
+def shard_cfg(seed: int = 0, **overrides) -> ColoringConfig:
+    return ColoringConfig.practical(seed=seed, **overrides)
+
+
+# ----------------------------------------------------------------------
+# Partitioners
+# ----------------------------------------------------------------------
+class TestPartition:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("k", [1, 2, 4, 8])
+    def test_balanced_cover(self, strategy, k):
+        net = BroadcastNetwork(gnp_graph(97, 0.08, seed=1))
+        part = partition_nodes(net, k, strategy, seed=3)
+        assert part.assignment.size == net.n
+        assert part.assignment.min() >= 0 and part.assignment.max() < k
+        sizes = part.sizes()
+        assert sizes.sum() == net.n
+        assert sizes.max() - sizes.min() <= 1
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_deterministic(self, strategy):
+        net = BroadcastNetwork(gnp_graph(80, 0.1, seed=2))
+        a = partition_nodes(net, 4, strategy, seed=5).assignment
+        b = partition_nodes(net, 4, strategy, seed=5).assignment
+        assert np.array_equal(a, b)
+
+    def test_random_seed_changes_assignment(self):
+        net = BroadcastNetwork(gnp_graph(80, 0.1, seed=2))
+        a = partition_nodes(net, 4, "random", seed=1).assignment
+        b = partition_nodes(net, 4, "random", seed=2).assignment
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_k1_is_all_zero(self, strategy):
+        net = BroadcastNetwork(gnp_graph(30, 0.2, seed=0))
+        part = partition_nodes(net, 1, strategy, seed=0)
+        assert (part.assignment == 0).all()
+        assert part.cut_edges(net).size == 0
+
+    def test_k_exceeding_n_leaves_empty_shards(self):
+        net = BroadcastNetwork((3, [(0, 1), (1, 2)]))
+        part = partition_nodes(net, 8, "contiguous")
+        assert part.sizes().sum() == 3
+
+    def test_cut_edges_match_brute_force(self):
+        net = BroadcastNetwork(gnp_graph(60, 0.15, seed=4))
+        part = partition_nodes(net, 3, "random", seed=7)
+        got = {tuple(e) for e in part.cut_edges(net).tolist()}
+        want = {
+            (int(u), int(v))
+            for u, v in net.undirected_edges()
+            if part.assignment[u] != part.assignment[v]
+        }
+        assert got == want
+
+    def test_greedy_beats_random_on_geometric(self):
+        net = BroadcastNetwork(geometric_graph(1500, 0.06, seed=3))
+        rand = partition_nodes(net, 4, "random", seed=1).cut_stats(net)
+        greedy = partition_nodes(net, 4, "greedy", seed=1).cut_stats(net)
+        assert greedy["cut_edges"] < rand["cut_edges"] / 3
+
+    def test_invalid_inputs(self):
+        net = BroadcastNetwork(gnp_graph(10, 0.3, seed=0))
+        with pytest.raises(ValueError):
+            partition_nodes(net, 0, "contiguous")
+        with pytest.raises(ValueError):
+            partition_nodes(net, 2, "metis")
+
+
+# ----------------------------------------------------------------------
+# Induced subgraphs with frontier ghosting
+# ----------------------------------------------------------------------
+class TestShardView:
+    def _view(self, n=50, p=0.15, seed=9, frac=0.4, shard=2):
+        net = BroadcastNetwork(gnp_graph(n, p, seed=seed))
+        rng = np.random.default_rng(seed)
+        mask = rng.random(n) < frac
+        return net, mask, net.induced_subgraph(mask, shard=shard)
+
+    def test_interior_edges_match_brute_force(self):
+        net, mask, view = self._view()
+        nodes = view.nodes
+        assert np.array_equal(nodes, np.flatnonzero(mask))
+        got = {
+            (int(nodes[a]), int(nodes[b])) for a, b in view.interior_edges
+        }
+        want = {
+            (int(u), int(v))
+            for u, v in net.undirected_edges()
+            if mask[u] and mask[v]
+        }
+        assert got == want
+
+    def test_ghosts_are_exactly_cut_neighbors(self):
+        net, mask, view = self._view()
+        want_ghosts = set()
+        want_cut = set()
+        for u, v in net.undirected_edges():
+            u, v = int(u), int(v)
+            if mask[u] != mask[v]:
+                inner, ghost = (u, v) if mask[u] else (v, u)
+                want_ghosts.add(ghost)
+                want_cut.add((inner, ghost))
+        assert set(view.ghost_nodes.tolist()) == want_ghosts
+        got_cut = {
+            (int(view.nodes[i]), int(view.ghost_nodes[g]))
+            for i, g in view.cut_edges
+        }
+        assert got_cut == want_cut
+        assert view.shard == 2
+        assert view.n_global == net.n
+
+    def test_frontier_is_write_protected(self):
+        _, _, view = self._view()
+        assert view.ghost_nodes.size > 0
+        with pytest.raises(ValueError):
+            view.ghost_nodes[0] = 99
+        with pytest.raises(ValueError):
+            view.cut_edges[0, 0] = 99
+
+    def test_full_mask_is_identity(self):
+        net = BroadcastNetwork(gnp_graph(40, 0.2, seed=1))
+        view = net.induced_subgraph(np.ones(net.n, dtype=bool))
+        assert np.array_equal(view.nodes, np.arange(net.n))
+        assert view.ghost_nodes.size == 0 and view.cut_edges.size == 0
+        assert np.array_equal(view.interior_edges, net.undirected_edges())
+
+    def test_accepts_id_array(self):
+        net = BroadcastNetwork(gnp_graph(30, 0.2, seed=1))
+        ids = np.array([3, 7, 11])
+        view = net.induced_subgraph(ids)
+        assert np.array_equal(view.nodes, ids)
+
+    def test_cut_degrees(self):
+        net, mask, view = self._view()
+        counts = np.zeros(view.n_interior, dtype=np.int64)
+        for i, _ in view.cut_edges:
+            counts[i] += 1
+        assert np.array_equal(view.cut_degrees(), counts)
+
+
+# ----------------------------------------------------------------------
+# The sharded engine: the distributed invariant
+# ----------------------------------------------------------------------
+class TestShardedColoring:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(12, 48),
+        avg_deg=st.floats(2.0, 10.0),
+        seed=st.integers(0, 10_000),
+        k=st.sampled_from([1, 2, 4, 8]),
+        strategy=st.sampled_from(STRATEGIES),
+    )
+    def test_reconciled_coloring_is_proper_within_budget(
+        self, n, avg_deg, seed, k, strategy
+    ):
+        graph = gnp_graph(n, min(1.0, avg_deg / n), seed=seed)
+        net = BroadcastNetwork(graph)
+        result = ShardedColoring(
+            net, shard_cfg(seed=seed), k=k, strategy=strategy
+        ).run()
+        assert result.unresolved_conflicts == 0
+        assert brute_force_proper(net, result.colors)
+        assert (result.colors >= 0).all()
+        assert result.colors.max() <= net.delta  # colors in [0, Δ+1)
+        assert result.num_colors_used <= net.delta + 1
+        assert result.proper and result.complete
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_k1_identical_to_single_process(self, strategy):
+        cfg = shard_cfg(seed=11)
+        graph = gnp_graph(300, 0.05, seed=6)
+        ref = BroadcastColoring(graph, cfg).run()
+        got = ShardedColoring(graph, cfg, k=1, strategy=strategy).run()
+        assert np.array_equal(got.colors, ref.colors)
+        assert got.cut_edges == 0 and got.reconcile_touched == 0
+
+    def test_k1_identical_on_full_quick_matrix(self):
+        """The acceptance bar: k=1 ≡ the single-process engine on every
+        (family, n, avg_degree, seed) cell of the quick matrix, under the
+        runner's own graph-seeding discipline."""
+        cells = {
+            (s.family, s.n, s.avg_degree, s.seed): s
+            for s in load_matrix(QUICK_MATRIX)
+        }
+        for (family, n, deg, seed), spec in sorted(cells.items()):
+            graph = make_graph(family, n, deg, spec.graph_seed())
+            cfg = shard_cfg(seed=spec.algo_seed())
+            ref = BroadcastColoring(graph, cfg).run()
+            got = ShardedColoring(graph, cfg, k=1).run()
+            assert np.array_equal(got.colors, ref.colors), (family, n, deg, seed)
+            assert got.num_colors_used == ref.num_colors_used
+
+    def test_pool_identical_to_inline(self):
+        def deterministic(d: dict) -> dict:
+            # Wall-clock rides outside the deterministic account, exactly
+            # as in TrialResult (elapsed_s/timings vs payload).
+            d = {k: v for k, v in d.items() if k != "seconds"}
+            d["shards"] = [
+                {k: v for k, v in s.items() if k != "seconds"}
+                for s in d["shards"]
+            ]
+            return d
+
+        cfg = shard_cfg(seed=4)
+        graph = gnp_graph(400, 0.03, seed=2)
+        inline = ShardedColoring(graph, cfg, k=4, workers=1).run()
+        pooled = ShardedColoring(graph, cfg, k=4, workers=4).run()
+        assert np.array_equal(inline.colors, pooled.colors)
+        assert json.dumps(deterministic(inline.as_dict()), sort_keys=True) == \
+            json.dumps(deterministic(pooled.as_dict()), sort_keys=True)
+
+    def test_interior_edges_never_monochromatic_before_reconcile(self):
+        """Only cut edges can conflict at merge time: interior propriety
+        is by construction (each worker's hard invariant)."""
+        graph = gnp_graph(200, 0.08, seed=3)
+        net = BroadcastNetwork(graph)
+        part = partition_nodes(net, 4, "random", seed=0)
+        cfg = shard_cfg(seed=1)
+        colors = np.full(net.n, -1, dtype=np.int64)
+        for i in range(4):
+            view = net.induced_subgraph(part.assignment == i, shard=i)
+            out = _color_shard(view, cfg.with_seed(i))
+            colors[view.nodes] = out["colors"]
+        und = net.undirected_edges()
+        interior = part.assignment[und[:, 0]] == part.assignment[und[:, 1]]
+        mono = colors[und[:, 0]] == colors[und[:, 1]]
+        assert not (interior & mono).any()
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_ghost_frontier_never_mutates(self, seed):
+        """The worker contract: a full interior coloring leaves the ghost
+        frontier byte-identical (and still write-protected)."""
+        net = BroadcastNetwork(gnp_graph(40, 0.15, seed=seed))
+        mask = np.zeros(net.n, dtype=bool)
+        mask[: net.n // 2] = True
+        view = net.induced_subgraph(mask)
+        ghosts_before = view.ghost_nodes.copy()
+        cut_before = view.cut_edges.copy()
+        _color_shard(view, shard_cfg(seed=seed))
+        assert np.array_equal(view.ghost_nodes, ghosts_before)
+        assert np.array_equal(view.cut_edges, cut_before)
+        assert not view.ghost_nodes.flags.writeable
+        assert not view.cut_edges.flags.writeable
+
+    def test_empty_graph_and_empty_shards(self):
+        result = ShardedColoring((5, []), shard_cfg(), k=8).run()
+        assert result.proper and result.complete
+        assert result.unresolved_conflicts == 0
+
+    def test_touched_nodes_reported(self):
+        graph = gnp_graph(500, 0.04, seed=1)
+        result = ShardedColoring(graph, shard_cfg(seed=3), k=4).run()
+        assert result.initial_conflicts > 0  # expander cut must conflict
+        assert 0 < result.reconcile_touched <= result.n
+        assert result.unresolved_conflicts == 0
+        assert result.reconcile_iterations >= 1
+
+    @pytest.mark.parametrize("victim", ["id", "slack"])
+    def test_victim_policies_both_reconcile(self, victim):
+        graph = gnp_graph(300, 0.06, seed=2)
+        net = BroadcastNetwork(graph)
+        result = ShardedColoring(
+            net, shard_cfg(seed=2, conflict_victim=victim), k=4
+        ).run()
+        assert result.unresolved_conflicts == 0
+        assert brute_force_proper(net, result.colors)
+
+
+# ----------------------------------------------------------------------
+# Runner integration: determinism + content hashing
+# ----------------------------------------------------------------------
+class TestShardRunner:
+    SPEC = dict(
+        family="gnp", n=200, avg_degree=8.0, seed=1, algorithm="shard",
+        overrides=(("shard_k", 4), ("shard_strategy", "random")),
+    )
+
+    def test_same_spec_twice_is_byte_identical(self):
+        a, b = run_trial(TrialSpec(**self.SPEC)), run_trial(TrialSpec(**self.SPEC))
+        assert a.status == b.status == "ok"
+        assert json.dumps(a.payload, sort_keys=True) == \
+            json.dumps(b.payload, sort_keys=True)
+
+    def test_store_roundtrip_byte_identical(self, tmp_path):
+        spec = TrialSpec(**self.SPEC)
+        p1, p2 = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        ParallelRunner(store=ResultStore(p1)).run([spec])
+        ParallelRunner(store=ResultStore(p2)).run([spec])
+        row1 = json.loads(p1.read_text())
+        row2 = json.loads(p2.read_text())
+        for row in (row1, row2):
+            row.pop("elapsed_s"), row.pop("timings")
+        assert json.dumps(row1, sort_keys=True) == json.dumps(row2, sort_keys=True)
+
+    def test_key_changes_with_k_and_strategy(self):
+        base = TrialSpec(**self.SPEC)
+        k8 = TrialSpec(**{**self.SPEC, "overrides": (("shard_k", 8), ("shard_strategy", "random"))})
+        greedy = TrialSpec(**{**self.SPEC, "overrides": (("shard_k", 4), ("shard_strategy", "greedy"))})
+        assert len({base.key, k8.key, greedy.key}) == 3
+
+    def test_shard_trial_through_pool_workers(self, tmp_path):
+        specs = [
+            TrialSpec(**{**self.SPEC, "seed": s}) for s in range(3)
+        ]
+        serial = ParallelRunner(workers=1).run(specs)
+        parallel = ParallelRunner(workers=3).run(specs)
+        assert json.dumps(serial.payloads(), sort_keys=True) == \
+            json.dumps(parallel.payloads(), sort_keys=True)
+
+    def test_churn_family_rejects_shard(self):
+        with pytest.raises(ValueError):
+            TrialSpec(family="gnp-churn", algorithm="shard")
+
+    def test_payload_carries_cut_account(self):
+        r = run_trial(TrialSpec(**self.SPEC))
+        for key in (
+            "k", "strategy", "cut_edges", "cut_fraction", "initial_conflicts",
+            "reconcile_touched", "touched_fraction", "reconcile_rounds",
+            "unresolved_conflicts", "rounds_interior",
+        ):
+            assert key in r.payload, key
+        assert r.payload["unresolved_conflicts"] == 0
+        assert r.payload["proper"] and r.payload["complete"]
