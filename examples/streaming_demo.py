@@ -1,83 +1,108 @@
 #!/usr/bin/env python3
-"""BCStream (§5) demo: coloring with poly(log n) memory per node.
+"""Streaming a mobility workload at a live ``repro serve`` daemon.
 
-A BCStream node may receive Θ(Δ·log n) bits per round but can only hold
-poly(log n) of working memory — it must process its inbox as a stream.
-This demo (a) runs the full pipeline under the memory audit, (b) shows
-the §5.1 streaming prefix sums working on a live example, and (c) shows a
-node finding "the 1000th free color of my clique palette" with O(1)
-working words via the merge-hierarchy descent.
+The frequency-assignment scenario (see examples/frequency_assignment.py)
+run as a *service*: this process plays the network controller, the
+coloring engine lives in a separate daemon behind the docs/PROTOCOL.md
+wire protocol.  The demo
 
-Run:  python examples/streaming_demo.py
+1. boots ``repro serve`` as a subprocess on a unix socket,
+2. loads the initial interference graph over the wire,
+3. streams the mobile-churn batches (transmitters drift, a few hand
+   off) and prints each streamed-back per-batch repair report,
+4. reads the final channel plan + a palette query + server stats, and
+5. shuts the daemon down cleanly, checking the plan matches what an
+   in-process engine with the same seed produces.
+
+Run:  python examples/streaming_demo.py [num_aps] [radius] [seed] [steps]
 """
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+import tempfile
+
 import numpy as np
 
-from repro import ColoringConfig
-from repro.bcstream import (
-    MemoryMeter,
-    bcstream_coloring,
-    stream_reduce,
-    streaming_palette_lookup,
-    streaming_prefix_sums,
-)
-from repro.graphs import clique_blob_graph
+from repro import ColoringConfig, DynamicColoring
+from repro.graphs.churn import mobile_geometric_churn
+from repro.serve.client import ServeClient
 
 
 def main() -> None:
-    cfg = ColoringConfig.practical(seed=7)
+    num_aps = int(sys.argv[1]) if len(sys.argv) > 1 else 800
+    radius = float(sys.argv[2]) if len(sys.argv) > 2 else 0.06
+    seed = int(sys.argv[3]) if len(sys.argv) > 3 else 1
+    steps = int(sys.argv[4]) if len(sys.argv) > 4 else 6
 
-    # (a) the audited pipeline ------------------------------------------
-    g = clique_blob_graph(8, 96, 30, 15, seed=7)
-    res = bcstream_coloring(g, cfg)
-    c = res.coloring
-    print("full pipeline under BCStream:")
-    print(f"  n={c.n}, Δ={c.delta}; proper={c.proper}, complete={c.complete}")
-    print(f"  rounds: {c.rounds_total} (same as BCONGEST — Theorem 2)")
-    inbox = c.delta * cfg.bandwidth_bits(c.n)
-    print(
-        f"  per-round inbox: up to {inbox} bits; "
-        f"peak working set: {res.peak_words} words "
-        f"(ceiling {res.memory_ceiling_words} = log³ n)"
+    schedule = mobile_geometric_churn(
+        num_aps, radius, steps, step=0.25 * radius, seed=seed,
+        handoff_fraction=0.01,
     )
-    print("  heaviest phases (working-set words):")
-    for phase, words in sorted(res.phase_memory_words.items(), key=lambda kv: -kv[1])[:4]:
-        print(f"    {phase:<14} {words}")
+    n, edges = schedule.initial
 
-    # (b) streaming prefix sums -----------------------------------------
-    print("\nstreaming prefix sums (Lemma 5.2):")
-    k = 3000
-    rng = np.random.default_rng(0)
-    values = rng.integers(0, 100, size=k)
-    ps = streaming_prefix_sums(values, np.full(k, 24), cfg, n=1 << 18)
-    assert np.array_equal(
-        ps.prefix, np.concatenate([[0], np.cumsum(values)[:-1]])
+    socket_path = tempfile.mktemp(prefix="repro-serve-", suffix=".sock")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", socket_path,
+         "--coalesce-max", "1"],
+        env={**os.environ},
     )
-    print(
-        f"  {k} groups summed exactly in {ps.iterations} merge iterations "
-        f"({ps.rounds} rounds), peak {ps.peak_words} words"
-    )
+    try:
+        with ServeClient(socket_path=socket_path) as client:
+            print(f"connected: {client.welcome.server} "
+                  f"(protocol v{client.welcome.v})")
 
-    # (c) i-th color of the clique palette ------------------------------
-    print("\nstreaming palette lookup (§5, SCT support):")
-    free = rng.random(4096) < 0.3
-    direct = np.flatnonzero(free)
-    queries = np.array([0, 500, 1000, int(direct.size - 1)])
-    lk = streaming_palette_lookup(free, queries, cfg, n=1 << 18)
-    for q, got in zip(queries, lk.colors):
-        print(f"  {int(q):>5}-th free color = {int(got):>5}  (direct: {int(direct[q])})")
-        assert got == direct[q]
-    print(f"  peak {lk.peak_words} words — independent of the {free.size}-color space")
+            loaded = client.load_graph(n, edges, seed=seed)
+            print(
+                f"loaded deployment over the wire: {loaded.n} access points, "
+                f"{loaded.m} interference links, Δ={loaded.delta}; initial "
+                f"plan uses {loaded.colors_used} channels "
+                f"({loaded.initial_rounds} rounds, {loaded.seconds:.2f}s)"
+            )
 
-    # Bonus: the stream_reduce discipline in one line --------------------
-    meter = MemoryMeter(ceiling_words=8)
-    total = stream_reduce(0, range(100_000), 0, lambda acc, x: acc + x, meter)
-    print(
-        f"\nstream_reduce: summed 100k messages with peak "
-        f"{meter.peak_of(0)} word(s); total={total}"
-    )
+            print("\nstreaming mobility batches:")
+            print("batch  mode      conflicts  recolored  colors  rounds")
+            for i, batch in enumerate(schedule):
+                rf = client.update_batch(batch)
+                r = rf.report
+                print(
+                    f"{i:5d}  {r['mode']:8s}  {r['conflicts']:9d}  "
+                    f"{r['recolored']:9d}  {r['colors_used']:6d}  "
+                    f"{r['rounds']:6d}"
+                )
+
+            final = client.query_colors()
+            assert final.proper and final.complete, "service lost the invariant"
+            pal = client.query_palette(0)
+            print(
+                f"\nfinal plan: proper={final.proper} complete={final.complete}; "
+                f"AP 0 holds channel {pal.color}, "
+                f"{len(pal.free)} of {pal.num_colors} channels free around it"
+            )
+
+            stats = client.stats()
+            print(
+                f"server stats: {stats['batches_applied']} batches applied, "
+                f"{stats['rejected_batches']} rejected, "
+                f"{stats['fallbacks']} fallbacks, "
+                f"{stats['rounds_total']} simulated rounds total"
+            )
+
+            client.shutdown()
+        server.wait(timeout=30)
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+    # The service is the same engine behind a socket: same seed, same plan.
+    engine = DynamicColoring(schedule.initial, ColoringConfig.practical(seed=seed))
+    for batch in schedule:
+        engine.apply_batch(batch)
+    assert final.colors == engine.colors.tolist(), "service diverged from engine"
+    print("\nserved plan is bit-identical to the in-process engine; "
+          "clean shutdown")
 
 
 if __name__ == "__main__":

@@ -20,6 +20,10 @@ Public surface:
   ``paper()`` and ``practical()`` presets.
 * :mod:`repro.dynamic` — churn workloads + the incremental recoloring
   engine (maintain a (Δ+1)-coloring while the graph changes).
+* :mod:`repro.shard` — partitioned coloring: k shard workers + cut
+  reconciliation.
+* :mod:`repro.serve` — the streaming coloring service: ``repro serve``
+  daemon, wire protocol (docs/PROTOCOL.md), snapshots, client.
 * :mod:`repro.graphs` — workload generators.
 * :mod:`repro.baselines` — greedy / Johansson / Luby comparators.
 * :mod:`repro.decomposition` — the ε-almost-clique decomposition.
@@ -32,7 +36,7 @@ from repro.core.state import ColoringState
 from repro.dynamic import ChurnSchedule, DynamicColoring, UpdateBatch
 from repro.simulator.network import BroadcastNetwork
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BroadcastColoring",

@@ -8,6 +8,7 @@ writing Python.
     python -m repro shard --family geometric --n 20000 --k 4 --strategy greedy
     python -m repro sweep --family blobs --min-exp 8 --max-exp 12 --workers 4
     python -m repro bench benchmarks/specs/quick.toml --workers 4 --out out.jsonl
+    python -m repro serve --socket /tmp/repro.sock --snapshot-path /tmp/repro.npz
 
 Every subcommand prints a compact report; ``--json`` switches to
 machine-readable output.  ``compare``, ``sweep`` and ``bench`` execute
@@ -337,6 +338,31 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if not run.failed else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.server import ColoringServer
+
+    if (args.socket is None) == (args.port is None):
+        raise SystemExit("repro serve: pass exactly one of --socket / --port")
+    cfg = ColoringConfig.practical(
+        seed=args.seed,
+        serve_queue_max=args.queue_max,
+        serve_coalesce_max=args.coalesce_max,
+        serve_snapshot_every=args.snapshot_every,
+    )
+    server = ColoringServer(
+        cfg,
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        snapshot_path=args.snapshot_path,
+        restore=args.restore,
+    )
+    asyncio.run(server.run_until_stopped())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -470,6 +496,35 @@ def build_parser() -> argparse.ArgumentParser:
                          help="entry label for --track (default: repro-bench)")
     runner_flags(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the streaming coloring daemon (wire spec: docs/PROTOCOL.md, "
+             "operations: docs/RUNBOOK.md)",
+    )
+    p_serve.add_argument("--socket", default=None, metavar="PATH",
+                         help="listen on a unix socket at PATH")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="listen on TCP PORT instead of a unix socket")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address for --port (default 127.0.0.1; "
+                              "the protocol has no auth — see the runbook)")
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="base config seed (load_graph can override)")
+    p_serve.add_argument("--queue-max", type=int, default=64,
+                         help="ingest-queue depth before update_batch "
+                              "is rejected with queue-full")
+    p_serve.add_argument("--coalesce-max", type=int, default=8,
+                         help="max queued batches merged into one apply "
+                              "(1 disables coalescing)")
+    p_serve.add_argument("--snapshot-every", type=int, default=0,
+                         help="snapshot every N applied batches "
+                              "(0 = only on shutdown/request)")
+    p_serve.add_argument("--snapshot-path", default=None, metavar="PATH",
+                         help="where periodic/final snapshots go")
+    p_serve.add_argument("--restore", default=None, metavar="PATH",
+                         help="warm-start the engine from a snapshot")
+    p_serve.set_defaults(fn=cmd_serve)
 
     return parser
 

@@ -209,6 +209,36 @@ class ColoringConfig:
     re-colors its victims (adoption is proper by construction); extra
     sweeps only fire when a repair stalls at the round cap."""
 
+    # --- streaming service (repro.serve, DESIGN.md §8) ---
+    serve_queue_max: int = 64
+    """Admission control for ``repro serve``: the bounded depth of the
+    ingest queue, in ``update_batch`` requests.  When the queue is full
+    the server *rejects* the batch with a ``queue-full`` error frame
+    carrying ``retry_after`` — it never blocks the socket reader, so a
+    slow engine degrades into explicit backpressure instead of unbounded
+    buffering (docs/PROTOCOL.md §Backpressure)."""
+
+    serve_coalesce_max: int = 8
+    """Batch coalescing under load: when the serve worker dequeues, it
+    drains up to this many queued ``update_batch`` requests and merges
+    them into one :class:`~repro.dynamic.UpdateBatch` (exact last-op-wins
+    replay, :func:`repro.serve.coalesce.coalesce_batches`) before paying
+    one detect/repair cycle.  1 disables coalescing — every request is
+    applied individually (required when bit-exact equivalence with an
+    in-process run matters, e.g. the E2E equivalence test)."""
+
+    serve_snapshot_every: int = 0
+    """Crash-recovery cadence for ``repro serve``: write a snapshot of the
+    engine state (CSR + colors + active mask + batch index, see
+    :mod:`repro.serve.snapshot`) after every N applied batches.  0
+    disables periodic snapshots; a clean shutdown still writes a final
+    one when ``--snapshot-path`` is configured."""
+
+    serve_retry_after_s: float = 0.05
+    """The ``retry_after`` hint (seconds) carried by ``queue-full`` error
+    frames — the client-visible half of the admission-control contract.
+    Clients should wait at least this long before resubmitting."""
+
     # --- ablation switches (DESIGN.md design-choice experiments) ---
     enable_matching: bool = True
     """Off = skip the colorful matching (Lemma 2.9).  Ablation EA1: closed

@@ -230,13 +230,19 @@ class BatchReport:
 
     @property
     def conflict_fraction(self) -> float:
+        """Conflicted share of active nodes — what the fallback
+        threshold (``dynamic_fallback_fraction``) is compared against."""
         return self.conflicts / max(self.active, 1)
 
     @property
     def recolored_fraction(self) -> float:
+        """Share of active nodes that changed color this batch — the
+        paper's locality claim is that this stays near the churn rate."""
         return self.recolored / max(self.active, 1)
 
     def as_dict(self) -> dict:
+        """JSON-safe flat dict of this report (CLI ``--json`` rows and
+        the serve protocol's ``batch_report`` frames carry exactly this)."""
         return {
             "index": self.index,
             "mode": self.mode,
@@ -270,6 +276,10 @@ class DynamicResult:
     reports: list[BatchReport] = field(default_factory=list)
 
     def summary(self) -> dict:
+        """Aggregate the per-batch reports into the run-level verdict:
+        invariants held everywhere (``proper_all``/``complete_all``/
+        ``colors_within_budget``), how local the maintenance was (mean/
+        max recolored fraction), and the total round/bit cost."""
         reps = self.reports
         rec = [r.recolored_fraction for r in reps] or [0.0]
         con = [r.conflict_fraction for r in reps] or [0.0]
@@ -307,9 +317,36 @@ class DynamicColoring:
     config:
         :class:`ColoringConfig`; the ``dynamic_*`` knobs drive the
         repair-vs-fallback policy.
+    initial_colors:
+        Warm-start path: when given, the engine *adopts* this coloring
+        instead of running the full pipeline on the initial graph.  Used
+        by :func:`repro.serve.snapshot.restore_engine` (crash recovery /
+        warm restarts) and by ``repro serve`` when the initial coloring
+        comes from :class:`~repro.shard.ShardedColoring`.  The caller
+        vouches that the coloring is proper and complete on ``active``
+        nodes — the usual post-batch invariant; ``initial_rounds`` /
+        ``initial_seconds`` are reported as 0 (the cost was paid
+        elsewhere).
+    active:
+        Active-node mask to adopt alongside ``initial_colors`` (default:
+        all nodes active).  Only meaningful on the warm-start path.
+    batch_index:
+        The timestep to resume at (default 0).  Per-batch seed streams
+        are a pure function of ``(config.seed, batch_index)``, so a
+        restored engine replays the exact color decisions the
+        uninterrupted engine would have made from this point on — the
+        restore ≡ never-crashed property tests/test_serve.py pins.
     """
 
-    def __init__(self, graph, config: ColoringConfig | None = None):
+    def __init__(
+        self,
+        graph,
+        config: ColoringConfig | None = None,
+        *,
+        initial_colors: np.ndarray | None = None,
+        active: np.ndarray | None = None,
+        batch_index: int = 0,
+    ):
         if isinstance(graph, ChurnSchedule):
             graph = graph.initial
         self.cfg = config or ColoringConfig.practical()
@@ -317,7 +354,25 @@ class DynamicColoring:
         self.net.bandwidth_bits = self.cfg.bandwidth_bits(self.net.n)
         self.seq = SeedSequencer(self.cfg.seed).spawn("dynamic")
         self.active = np.ones(self.net.n, dtype=bool)
-        self._batch_index = 0
+        self._batch_index = int(batch_index)
+
+        if initial_colors is not None:
+            colors = np.asarray(initial_colors, dtype=np.int64).copy()
+            if colors.shape != (self.net.n,):
+                raise ValueError(
+                    f"initial_colors shape {colors.shape} != ({self.net.n},)"
+                )
+            self.colors = colors
+            if active is not None:
+                adopted = np.asarray(active, dtype=bool).copy()
+                if adopted.shape != (self.net.n,):
+                    raise ValueError(
+                        f"active shape {adopted.shape} != ({self.net.n},)"
+                    )
+                self.active = adopted
+            self.initial_rounds = 0
+            self.initial_seconds = 0.0
+            return
 
         t0 = time.perf_counter()
         rounds0 = self.net.metrics.total_rounds
@@ -329,18 +384,30 @@ class DynamicColoring:
     # ------------------------------------------------------------------
     @property
     def n(self) -> int:
+        """Size of the (fixed) node universe [n]."""
         return self.net.n
 
+    @property
+    def batch_index(self) -> int:
+        """The next timestep to apply — equivalently, how many batches
+        this engine has already absorbed (snapshots persist it so a
+        restored engine resumes the same seed streams)."""
+        return self._batch_index
+
     def colors_used(self) -> int:
+        """Number of distinct colors assigned to active nodes (the
+        quantity bounded by Δ_t+1 after every batch)."""
         used = self.colors[self.active & (self.colors >= 0)]
         return int(np.unique(used).size) if used.size else 0
 
     def is_proper(self) -> bool:
+        """True when no edge of the *current* topology is monochromatic."""
         src, dst = self.net.edge_src, self.net.indices
         c = self.colors
         return not bool(((c[src] >= 0) & (c[src] == c[dst])).any())
 
     def is_complete(self) -> bool:
+        """True when every active node holds a color."""
         return bool((self.colors[self.active] >= 0).all())
 
     # ------------------------------------------------------------------

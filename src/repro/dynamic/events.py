@@ -74,6 +74,8 @@ class UpdateBatch:
 
     @property
     def is_empty(self) -> bool:
+        """True when the batch carries no events at all (the engine
+        still advances its timestep on an empty batch)."""
         return not (
             self.insert_edges.size
             or self.delete_edges.size
@@ -82,12 +84,38 @@ class UpdateBatch:
         )
 
     def counts(self) -> dict:
+        """Per-field event counts (the shape reports and logs print)."""
         return {
             "insert_edges": int(self.insert_edges.shape[0]),
             "delete_edges": int(self.delete_edges.shape[0]),
             "arrivals": int(self.arrivals.size),
             "departures": int(self.departures.size),
         }
+
+    def as_payload(self) -> dict:
+        """JSON-safe dict of this batch — the wire form ``update_batch``
+        frames carry (docs/PROTOCOL.md).  Inverse of :meth:`from_payload`."""
+        return {
+            "insert_edges": self.insert_edges.tolist(),
+            "delete_edges": self.delete_edges.tolist(),
+            "arrivals": self.arrivals.tolist(),
+            "departures": self.departures.tolist(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "UpdateBatch":
+        """Rebuild a batch from :meth:`as_payload` output (or any mapping
+        with the same keys; missing keys mean "no events of that kind").
+
+        Raises ``ValueError``/``TypeError`` on malformed entries — the
+        wire layer maps those onto ``bad-payload`` error frames.
+        """
+        return cls(
+            insert_edges=payload.get("insert_edges"),
+            delete_edges=payload.get("delete_edges"),
+            arrivals=payload.get("arrivals"),
+            departures=payload.get("departures"),
+        )
 
 
 @dataclass(frozen=True)
@@ -111,16 +139,20 @@ class ChurnSchedule:
 
     @property
     def n(self) -> int:
+        """Size of the fixed node universe (ids are always in [0, n))."""
         return int(self.initial[0])
 
     @property
     def num_batches(self) -> int:
+        """Number of timesteps in the stream."""
         return len(self.batches)
 
     def __iter__(self) -> Iterator[UpdateBatch]:
         return iter(self.batches)
 
     def total_counts(self) -> dict:
+        """Event totals summed over every batch (workload-size summary
+        for reports and benchmark rows)."""
         totals = {"insert_edges": 0, "delete_edges": 0, "arrivals": 0, "departures": 0}
         for batch in self.batches:
             for key, value in batch.counts().items():

@@ -1,0 +1,45 @@
+"""``repro.serve`` — the streaming coloring service (DESIGN.md §8).
+
+A small daemon (``repro serve``) that keeps a
+:class:`~repro.dynamic.DynamicColoring` engine alive behind a
+length-prefixed JSON wire protocol, so external processes can stream
+topology churn at it and read back colors, palettes and per-batch
+:class:`~repro.dynamic.BatchReport` telemetry.
+
+Layers (one module each):
+
+* :mod:`repro.serve.protocol` — frame dataclasses, framing, validation;
+  the registry docs/PROTOCOL.md is linted against.
+* :mod:`repro.serve.coalesce` — topology-exact merging of queued
+  batches under load.
+* :mod:`repro.serve.snapshot` — atomic save/restore of the engine
+  state; restore ≡ never-crashed.
+* :mod:`repro.serve.server` — the asyncio daemon: sessions, bounded
+  ingestion with explicit backpressure, the single-writer apply worker.
+* :mod:`repro.serve.client` — the blocking reference client.
+"""
+
+from repro.serve.client import ServeClient, connect
+from repro.serve.coalesce import coalesce_batches
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MESSAGE_TYPES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
+from repro.serve.server import ColoringServer
+from repro.serve.snapshot import load_snapshot, restore_engine, save_snapshot
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MESSAGE_TYPES",
+    "ERROR_CODES",
+    "ProtocolError",
+    "ColoringServer",
+    "ServeClient",
+    "connect",
+    "coalesce_batches",
+    "save_snapshot",
+    "load_snapshot",
+    "restore_engine",
+]

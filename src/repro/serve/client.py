@@ -1,0 +1,280 @@
+"""Blocking client for the ``repro serve`` protocol.
+
+:class:`ServeClient` is the reference consumer of docs/PROTOCOL.md —
+the CLI, the tests and ``examples/streaming_demo.py`` all talk to the
+daemon through it.  It is deliberately synchronous (a socket plus a
+buffered file object): the protocol is request/response per connection
+except for the pushed ``batch_report`` frames, which the client stashes
+in :attr:`reports` as they interleave with replies.
+
+Error frames surface as :class:`~repro.serve.protocol.ProtocolError`
+(``exc.code``/``exc.retry_after`` carry the wire fields), except inside
+:meth:`update_batch`'s retry loop, which honors the ``queue-full`` →
+``retry_after`` backpressure contract for you.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from types import TracebackType
+
+from repro.dynamic.events import UpdateBatch
+from repro.serve import protocol as wire
+
+__all__ = ["ServeClient", "connect"]
+
+
+class ServeClient:
+    """One connection to a coloring server.
+
+    Parameters
+    ----------
+    socket_path / host+port:
+        The server endpoint — exactly one of unix path or TCP port.
+    timeout:
+        Socket timeout in seconds for connect and each read.
+    retries / retry_delay:
+        Connection attempts while the daemon boots (the CLI and the
+        demo spawn the server as a subprocess and race its bind).
+
+    Use as a context manager; :meth:`hello` (version negotiation) runs
+    automatically on entry::
+
+        with ServeClient(socket_path=p) as c:
+            c.load_graph(n, edges, seed=7)
+            report = c.update_batch(batch)
+    """
+
+    def __init__(
+        self,
+        *,
+        socket_path: str | None = None,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        timeout: float = 60.0,
+        retries: int = 50,
+        retry_delay: float = 0.1,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError("exactly one of socket_path / port is required")
+        last: Exception | None = None
+        for _ in range(max(1, retries)):
+            try:
+                if socket_path is not None:
+                    self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    self.sock.settimeout(timeout)
+                    self.sock.connect(socket_path)
+                else:
+                    self.sock = socket.create_connection((host, port), timeout=timeout)
+                break
+            except OSError as exc:
+                last = exc
+                time.sleep(retry_delay)
+        else:
+            raise ConnectionError(f"cannot reach server: {last}") from last
+        self.fp = self.sock.makefile("rwb")
+        self.reports: list[wire.BatchReportFrame] = []
+        """Pushed ``batch_report`` frames, in arrival order."""
+        self.welcome: wire.Welcome | None = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _fresh_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def send(self, frame: wire.Frame) -> None:
+        """Fire one frame without waiting for anything back."""
+        wire.write_frame(self.fp, frame)
+
+    def recv(self) -> wire.Frame | None:
+        """Read one frame (``None`` on clean EOF).  Does *not* filter
+        pushed reports — most callers want :meth:`_rpc` instead."""
+        return wire.read_frame(self.fp)
+
+    def _rpc(self, frame: wire.Frame) -> wire.Frame:
+        """Send ``frame``, then read until its response arrives, stashing
+        any interleaved ``batch_report`` pushes.  Error frames raise."""
+        self.send(frame)
+        return self._wait_reply(frame.id)
+
+    def _wait_reply(self, request_id: int) -> wire.Frame:
+        while True:
+            reply = self.recv()
+            if reply is None:
+                raise ConnectionError("server closed the connection mid-request")
+            if isinstance(reply, wire.BatchReportFrame):
+                self.reports.append(reply)
+                continue
+            if isinstance(reply, wire.ErrorFrame):
+                raise reply.to_exception()
+            if reply.id != request_id:
+                raise wire.ProtocolError(
+                    "bad-payload",
+                    f"response id {reply.id} does not match request {request_id}",
+                )
+            return reply
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    def hello(self, client: str = "repro-client") -> wire.Welcome:
+        """Negotiate the protocol version (must precede everything else)."""
+        reply = self._rpc(
+            wire.Hello(
+                id=self._fresh_id(),
+                versions=[wire.PROTOCOL_VERSION],
+                client=client,
+            )
+        )
+        assert isinstance(reply, wire.Welcome)
+        self.welcome = reply
+        return reply
+
+    def load_graph(self, n: int, edges, **config) -> wire.GraphLoaded:
+        """Install the graph; keyword args become config overrides
+        (``seed=...``, ``initial="sharded"``, any ColoringConfig field)."""
+        edges_list = [
+            [int(u), int(v)] for u, v in (edges if edges is not None else [])
+        ]
+        reply = self._rpc(
+            wire.LoadGraph(id=self._fresh_id(), n=int(n), edges=edges_list,
+                           config=config)
+        )
+        assert isinstance(reply, wire.GraphLoaded)
+        return reply
+
+    def submit_batch(self, batch: UpdateBatch) -> int:
+        """Fire-and-forget one batch; returns its request id.  The matching
+        report (or ``queue-full`` error) arrives on a later read —
+        pipelined ingestion, used by the backpressure test."""
+        request_id = self._fresh_id()
+        self.send(wire.UpdateBatchFrame.from_batch(batch, id=request_id))
+        return request_id
+
+    def update_batch(
+        self, batch: UpdateBatch, *, wait: bool = True, max_retries: int = 100
+    ) -> wire.BatchReportFrame | int:
+        """Submit one batch, honoring backpressure.
+
+        With ``wait=True`` (default) blocks until the ``batch_report``
+        covering this request arrives and returns it; on ``queue-full``
+        sleeps the server-suggested ``retry_after`` and resubmits, up to
+        ``max_retries`` times.  With ``wait=False`` behaves like
+        :meth:`submit_batch` (no retry, returns the id).
+        """
+        if not wait:
+            return self.submit_batch(batch)
+        for _ in range(max(1, max_retries)):
+            request_id = self.submit_batch(batch)
+            try:
+                return self._wait_report(request_id)
+            except wire.ProtocolError as exc:
+                if exc.code != "queue-full":
+                    raise
+                time.sleep(exc.retry_after or 0.05)
+        raise wire.ProtocolError(
+            "queue-full", f"batch still rejected after {max_retries} retries"
+        )
+
+    def _wait_report(self, request_id: int) -> wire.BatchReportFrame:
+        for report in self.reports:
+            if request_id in report.ids:
+                return report
+        while True:
+            reply = self.recv()
+            if reply is None:
+                raise ConnectionError("server closed the connection mid-request")
+            if isinstance(reply, wire.BatchReportFrame):
+                self.reports.append(reply)
+                if request_id in reply.ids:
+                    return reply
+                continue
+            if isinstance(reply, wire.ErrorFrame):
+                raise reply.to_exception()
+            raise wire.ProtocolError(
+                "bad-payload", f"unexpected {reply.TYPE!r} while awaiting report"
+            )
+
+    def collect(self, request_ids) -> list[wire.BatchReportFrame]:
+        """Block until every id in ``request_ids`` is covered by a stashed
+        report; returns the covering reports in arrival order."""
+        pending = set(request_ids)
+        for report in self.reports:
+            pending -= set(report.ids)
+        while pending:
+            report = self._wait_report(next(iter(pending)))
+            pending -= set(report.ids)
+        out, seen = [], set()
+        wanted = set(request_ids)
+        for report in self.reports:
+            if wanted & set(report.ids) and id(report) not in seen:
+                seen.add(id(report))
+                out.append(report)
+        return out
+
+    def query_colors(self, nodes=None) -> wire.ColorsReply:
+        """Read the maintained coloring (all nodes, or a subset)."""
+        payload_nodes = None if nodes is None else [int(x) for x in nodes]
+        reply = self._rpc(wire.QueryColors(id=self._fresh_id(), nodes=payload_nodes))
+        assert isinstance(reply, wire.ColorsReply)
+        return reply
+
+    def query_palette(self, node: int) -> wire.PaletteReply:
+        """Read one node's color and free palette."""
+        reply = self._rpc(wire.QueryPalette(id=self._fresh_id(), node=int(node)))
+        assert isinstance(reply, wire.PaletteReply)
+        return reply
+
+    def stats(self) -> dict:
+        """The server's counter dict (docs/PROTOCOL.md §stats)."""
+        reply = self._rpc(wire.StatsRequest(id=self._fresh_id()))
+        assert isinstance(reply, wire.StatsReply)
+        return reply.stats
+
+    def snapshot(self, path: str | None = None) -> wire.SnapshotSaved:
+        """Force a snapshot now (to ``path`` or the server default)."""
+        reply = self._rpc(wire.SnapshotRequest(id=self._fresh_id(), path=path))
+        assert isinstance(reply, wire.SnapshotSaved)
+        return reply
+
+    def shutdown(self) -> wire.Goodbye:
+        """Ask the server to drain, snapshot and exit; waits for Goodbye."""
+        reply = self._rpc(wire.Shutdown(id=self._fresh_id()))
+        assert isinstance(reply, wire.Goodbye)
+        return reply
+
+    # ------------------------------------------------------------------
+    # Context manager / teardown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop the connection (without asking the server to exit —
+        that's :meth:`shutdown`).  Safe to call twice."""
+        for closer in (self.fp.close, self.sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        self.hello()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+
+def connect(**kwargs) -> ServeClient:
+    """Open a connection and run ``hello`` — the one-liner form of the
+    context-manager entry, for callers that manage lifetime themselves."""
+    client = ServeClient(**kwargs)
+    client.hello()
+    return client

@@ -1,0 +1,590 @@
+"""The ``repro serve`` daemon: asyncio sessions around the dynamic engine.
+
+Architecture (DESIGN.md §8):
+
+* **single-writer event loop** — one engine, one worker coroutine that
+  applies batches; queries and ingestion run on the same loop, so every
+  read observes a between-batches state and no lock ever guards the
+  numpy arrays.  An ``apply_batch`` call blocks the loop for its
+  duration; the admission control *in front* of it is what bounds the
+  damage a slow apply can do.
+* **bounded ingestion** — ``update_batch`` requests land in an
+  ``asyncio.Queue`` of depth ``serve_queue_max`` via ``put_nowait``:
+  the reader never blocks on the engine.  A full queue rejects with a
+  ``queue-full`` error frame carrying ``retry_after`` — backpressure is
+  explicit and client-visible, not hidden in TCP buffers.
+* **coalescing** — the worker drains up to ``serve_coalesce_max``
+  queued batches per cycle and merges them
+  (:func:`~repro.serve.coalesce.coalesce_batches`) so a burst pays one
+  detect/repair instead of k.  Each applied engine batch streams one
+  :class:`~repro.serve.protocol.BatchReportFrame` back to every session
+  that contributed to it.
+* **snapshots** — every ``serve_snapshot_every`` applied batches (and
+  on clean shutdown) the engine state goes to ``--snapshot-path``
+  atomically; ``--restore`` warm-starts from one.  Crash loss is
+  bounded by the cadence; restored replay is byte-identical
+  (:mod:`repro.serve.snapshot`).
+
+Failure model: the server is single-tenant (one graph; ``load_graph``
+replaces it after draining the queue) and applies each accepted batch
+exactly once, in admission order.  A rejected batch was *not* applied —
+the client owns the retry.  On a crash, accepted-but-unapplied batches
+die with the queue; clients that never got a ``batch_report`` for an id
+must treat it as lost and resubmit after restore.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import signal
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro import __version__
+from repro.config import ColoringConfig
+from repro.dynamic.engine import DynamicColoring
+from repro.serve import protocol as wire
+from repro.serve.coalesce import coalesce_batches
+from repro.serve.snapshot import restore_engine, save_snapshot
+from repro.shard.engine import ShardedColoring
+
+__all__ = ["ColoringServer"]
+
+_SERVER_NAME = f"repro-serve/{__version__}"
+
+
+@dataclass
+class _QueueItem:
+    """One admitted ``update_batch``: who sent it, its correlation id,
+    and the parsed event object."""
+
+    session: "_Session"
+    request_id: int
+    batch: object  # UpdateBatch
+
+
+class _Session:
+    """One client connection: framed reader/writer plus a write lock (the
+    worker and the handler both push frames down the same socket)."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+        self.hello_done = False
+        self._lock = asyncio.Lock()
+
+    async def send(self, frame: wire.Frame) -> None:
+        """Serialize and flush one frame; closed peers are ignored (the
+        handler notices EOF on its own)."""
+        async with self._lock:
+            if self.writer.is_closing():
+                return
+            try:
+                self.writer.write(wire.encode_frame(frame))
+                await self.writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def close(self) -> None:
+        with contextlib.suppress(Exception):
+            self.writer.close()
+            await self.writer.wait_closed()
+
+
+class ColoringServer:
+    """The streaming coloring service (tentpole of DESIGN.md §8).
+
+    Parameters
+    ----------
+    config:
+        Base :class:`ColoringConfig`; the ``serve_*`` knobs size the
+        queue, coalescing and snapshot cadence, and everything else is
+        the default engine config ``load_graph`` overrides merge into.
+    socket_path / host+port:
+        Exactly one listening endpoint: a unix socket path, or a TCP
+        port (default host 127.0.0.1 — the protocol has no auth; see
+        docs/RUNBOOK.md before binding wider).
+    snapshot_path:
+        Where periodic/final/``snapshot``-requested snapshots go when
+        the request doesn't name a path.
+    restore:
+        Snapshot to warm-start from: the engine (graph + colors + batch
+        index + config) is rebuilt before the first connection.
+    """
+
+    def __init__(
+        self,
+        config: ColoringConfig | None = None,
+        *,
+        socket_path: str | None = None,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        snapshot_path: str | None = None,
+        restore: str | None = None,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError("exactly one of socket_path / port is required")
+        self.cfg = config or ColoringConfig.practical()
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.snapshot_path = snapshot_path
+
+        self.engine: DynamicColoring | None = None
+        self.initial_mode = "pipeline"
+        self._queue: asyncio.Queue[_QueueItem] = asyncio.Queue(
+            maxsize=max(1, int(self.cfg.serve_queue_max))
+        )
+        self._sessions: set[_Session] = set()
+        self._server: asyncio.base_events.Server | None = None
+        self._worker: asyncio.Task | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._started = time.monotonic()
+
+        # Counters surfaced by the ``stats`` verb.
+        self.batches_applied = 0
+        self.coalesced_batches = 0
+        self.rejected_batches = 0
+        self.fallbacks = 0
+        self.snapshots_written = 0
+        self.last_snapshot_index = -1
+
+        if restore is not None:
+            self.engine = restore_engine(restore)
+            self.cfg = dataclasses.replace(
+                self.engine.cfg,
+                **{
+                    f: getattr(self.cfg, f)
+                    for f in (
+                        "serve_queue_max",
+                        "serve_coalesce_max",
+                        "serve_snapshot_every",
+                        "serve_retry_after_s",
+                    )
+                },
+            )
+            self.initial_mode = "restored"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the endpoint and start the ingest worker."""
+        self._stop_event = asyncio.Event()
+        if self.socket_path is not None:
+            path = Path(self.socket_path)
+            if path.exists():
+                path.unlink()
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=str(path)
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_client, host=self.host, port=self.port
+            )
+        self._worker = asyncio.create_task(self._worker_loop())
+
+    @property
+    def endpoint(self) -> str:
+        """Human-readable listening address (for logs and the ready line)."""
+        if self.socket_path is not None:
+            return f"unix:{self.socket_path}"
+        return f"tcp:{self.host}:{self.port}"
+
+    async def run_until_stopped(self, install_signals: bool = True) -> None:
+        """``start()`` + serve until ``shutdown`` (or SIGINT/SIGTERM),
+        then drain, snapshot and tear down — the CLI entry point."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        if install_signals:
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                with contextlib.suppress(NotImplementedError, ValueError):
+                    loop.add_signal_handler(sig, self.request_stop)
+        print(f"{_SERVER_NAME} listening on {self.endpoint}", file=sys.stderr, flush=True)
+        assert self._stop_event is not None
+        await self._stop_event.wait()
+        await self._teardown()
+
+    def request_stop(self) -> None:
+        """Flag the server to stop (idempotent; safe from signal handlers)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def _teardown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._worker is not None:
+            await self._drain()
+            self._worker.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._worker
+        if self.snapshot_path and self.engine is not None:
+            self._write_snapshot(self.snapshot_path)
+        for session in list(self._sessions):
+            await session.close()
+        if self.socket_path is not None:
+            with contextlib.suppress(OSError):
+                Path(self.socket_path).unlink()
+        print(f"{_SERVER_NAME} clean shutdown", file=sys.stderr, flush=True)
+
+    async def _drain(self) -> None:
+        """Wait until every admitted batch has been applied."""
+        await self._queue.join()
+
+    # ------------------------------------------------------------------
+    # The apply worker (single writer)
+    # ------------------------------------------------------------------
+    async def _worker_loop(self) -> None:
+        while True:
+            items = [await self._queue.get()]
+            limit = max(1, int(self.cfg.serve_coalesce_max))
+            while len(items) < limit:
+                try:
+                    items.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            try:
+                await self._apply(items)
+            finally:
+                for _ in items:
+                    self._queue.task_done()
+
+    async def _apply(self, items: list[_QueueItem]) -> None:
+        engine = self.engine
+        assert engine is not None
+        batches = [item.batch for item in items]
+        try:
+            batch = coalesce_batches(engine.net, batches)
+            report = engine.apply_batch(batch)
+        except Exception as exc:  # keep serving; the batch is lost
+            frame = wire.ErrorFrame(
+                id=None, code="internal", message=f"apply failed: {exc!r}"
+            )
+            for session in {item.session for item in items}:
+                await session.send(frame)
+            return
+        self.batches_applied += 1
+        self.coalesced_batches += len(items) - 1
+        if report.mode == "fallback":
+            self.fallbacks += 1
+        frame = wire.BatchReportFrame(
+            ids=[item.request_id for item in items],
+            coalesced=len(items),
+            report=report.as_dict(),
+        )
+        for session in {item.session for item in items}:
+            await session.send(frame)
+        every = int(self.cfg.serve_snapshot_every)
+        if every > 0 and self.snapshot_path and self.batches_applied % every == 0:
+            self._write_snapshot(self.snapshot_path)
+
+    def _write_snapshot(self, path: str) -> None:
+        assert self.engine is not None
+        info = save_snapshot(self.engine, path)
+        self.snapshots_written += 1
+        self.last_snapshot_index = info.batch_index
+
+    # ------------------------------------------------------------------
+    # Per-connection handler
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session = _Session(reader, writer)
+        self._sessions.add(session)
+        try:
+            while True:
+                try:
+                    frame = await wire.read_frame_async(reader)
+                except wire.ProtocolError as exc:
+                    await session.send(
+                        wire.ErrorFrame(id=exc.id, code=exc.code, message=exc.message)
+                    )
+                    if exc.code in ("bad-frame", "frame-too-large"):
+                        break  # framing lost; cannot resynchronize
+                    continue
+                if frame is None:
+                    break
+                try:
+                    done = await self._dispatch(session, frame)
+                except wire.ProtocolError as exc:
+                    await session.send(
+                        wire.ErrorFrame(
+                            id=exc.id if exc.id is not None else frame.id,
+                            code=exc.code,
+                            message=exc.message,
+                            retry_after=exc.retry_after,
+                        )
+                    )
+                    continue
+                except Exception as exc:
+                    await session.send(
+                        wire.ErrorFrame(
+                            id=frame.id, code="internal", message=repr(exc)
+                        )
+                    )
+                    continue
+                if done:
+                    break
+        finally:
+            self._sessions.discard(session)
+            await session.close()
+
+    async def _dispatch(self, session: _Session, frame: wire.Frame) -> bool:
+        """Handle one request frame; returns True when the connection (or
+        the whole server, for ``shutdown``) should wind down."""
+        if isinstance(frame, wire.Hello):
+            common = set(frame.versions) & {wire.PROTOCOL_VERSION}
+            if not common:
+                raise wire.ProtocolError(
+                    "bad-version",
+                    f"server speaks version {wire.PROTOCOL_VERSION}, "
+                    f"client offered {frame.versions}",
+                    id=frame.id,
+                )
+            session.hello_done = True
+            await session.send(
+                wire.Welcome(
+                    id=frame.id,
+                    v=max(common),
+                    server=_SERVER_NAME,
+                    n=None if self.engine is None else self.engine.n,
+                )
+            )
+            return False
+        if not session.hello_done:
+            raise wire.ProtocolError(
+                "hello-required", "first frame must be 'hello'", id=frame.id
+            )
+
+        if isinstance(frame, wire.LoadGraph):
+            await self._handle_load_graph(session, frame)
+            return False
+        if isinstance(frame, wire.UpdateBatchFrame):
+            self._handle_update_batch(session, frame)
+            return False
+        if isinstance(frame, wire.QueryColors):
+            await session.send(self._handle_query_colors(frame))
+            return False
+        if isinstance(frame, wire.QueryPalette):
+            await session.send(self._handle_query_palette(frame))
+            return False
+        if isinstance(frame, wire.StatsRequest):
+            await session.send(wire.StatsReply(id=frame.id, stats=self.stats()))
+            return False
+        if isinstance(frame, wire.SnapshotRequest):
+            await session.send(self._handle_snapshot(frame))
+            return False
+        if isinstance(frame, wire.Shutdown):
+            await self._drain()
+            if self.snapshot_path and self.engine is not None:
+                self._write_snapshot(self.snapshot_path)
+            await session.send(wire.Goodbye(id=frame.id))
+            self.request_stop()
+            return True
+        # A well-formed *response* type sent by a client.
+        raise wire.ProtocolError(
+            "bad-type", f"{frame.TYPE!r} is not a request", id=frame.id
+        )
+
+    # ------------------------------------------------------------------
+    # Verb implementations
+    # ------------------------------------------------------------------
+    def _engine_or_raise(self, request_id: int) -> DynamicColoring:
+        if self.engine is None:
+            raise wire.ProtocolError(
+                "no-graph", "no graph loaded (send 'load_graph' first)",
+                id=request_id,
+            )
+        return self.engine
+
+    async def _handle_load_graph(
+        self, session: _Session, frame: wire.LoadGraph
+    ) -> None:
+        overrides = dict(frame.config)
+        # "initial" is a reserved protocol key, not a ColoringConfig field:
+        # it picks which engine pays for the initial coloring.
+        initial = overrides.pop("initial", "pipeline")
+        if initial not in ("pipeline", "sharded"):
+            raise wire.ProtocolError(
+                "bad-payload",
+                f"load_graph: 'initial' must be 'pipeline' or 'sharded', "
+                f"got {initial!r}",
+                id=frame.id,
+            )
+        known = {f.name for f in dataclasses.fields(ColoringConfig)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise wire.ProtocolError(
+                "bad-payload",
+                f"load_graph: unknown config fields {sorted(unknown)}",
+                id=frame.id,
+            )
+        cfg = dataclasses.replace(self.cfg, **overrides)
+        edges = np.asarray(frame.edges, dtype=np.int64).reshape(-1, 2)
+        if edges.size and (edges.min() < 0 or edges.max() >= frame.n):
+            raise wire.ProtocolError(
+                "bad-payload", "load_graph: edge endpoint out of range", id=frame.id
+            )
+        # Pending batches belong to the engine being replaced: flush them
+        # first so every admitted batch is applied exactly once.
+        if self.engine is not None:
+            await self._drain()
+        t0 = time.perf_counter()
+        if initial == "sharded":
+            sharded = ShardedColoring((frame.n, edges), cfg).run()
+            engine = DynamicColoring(
+                (frame.n, edges), cfg, initial_colors=sharded.colors
+            )
+            initial_rounds = int(sharded.rounds_total)
+            self.initial_mode = "sharded"
+        else:
+            engine = DynamicColoring((frame.n, edges), cfg)
+            initial_rounds = int(engine.initial_rounds)
+            self.initial_mode = "pipeline"
+        self.engine = engine
+        self.batches_applied = 0
+        self.coalesced_batches = 0
+        self.rejected_batches = 0
+        self.fallbacks = 0
+        await session.send(
+            wire.GraphLoaded(
+                id=frame.id,
+                n=engine.n,
+                m=int(engine.net.m),
+                delta=int(engine.net.delta),
+                colors_used=engine.colors_used(),
+                initial_rounds=initial_rounds,
+                seconds=time.perf_counter() - t0,
+                initial=self.initial_mode,
+            )
+        )
+
+    def _handle_update_batch(
+        self, session: _Session, frame: wire.UpdateBatchFrame
+    ) -> None:
+        engine = self._engine_or_raise(frame.id)
+        try:
+            batch = frame.batch
+            batch.validate(engine.n)
+        except ValueError as exc:
+            raise wire.ProtocolError("bad-payload", str(exc), id=frame.id) from exc
+        try:
+            self._queue.put_nowait(_QueueItem(session, frame.id, batch))
+        except asyncio.QueueFull:
+            self.rejected_batches += 1
+            raise wire.ProtocolError(
+                "queue-full",
+                f"ingest queue at capacity ({self._queue.maxsize})",
+                id=frame.id,
+                retry_after=float(self.cfg.serve_retry_after_s),
+            ) from None
+
+    def _handle_query_colors(self, frame: wire.QueryColors) -> wire.Frame:
+        engine = self._engine_or_raise(frame.id)
+        if frame.nodes is None:
+            colors = engine.colors
+        else:
+            nodes = np.asarray(frame.nodes, dtype=np.int64)
+            if nodes.size and (nodes.min() < 0 or nodes.max() >= engine.n):
+                raise wire.ProtocolError(
+                    "bad-payload", "query_colors: node id out of range", id=frame.id
+                )
+            colors = engine.colors[nodes]
+        return wire.ColorsReply(
+            id=frame.id,
+            nodes=frame.nodes,
+            colors=colors.tolist(),
+            proper=engine.is_proper(),
+            complete=engine.is_complete(),
+        )
+
+    def _handle_query_palette(self, frame: wire.QueryPalette) -> wire.Frame:
+        engine = self._engine_or_raise(frame.id)
+        if not 0 <= frame.node < engine.n:
+            raise wire.ProtocolError(
+                "bad-payload", f"query_palette: node {frame.node} out of range",
+                id=frame.id,
+            )
+        num_colors = engine.net.delta + 1
+        neigh = engine.net.neighbors(frame.node)
+        held = engine.colors[neigh]
+        held = held[(held >= 0) & (held < num_colors)]
+        free = np.setdiff1d(np.arange(num_colors, dtype=np.int64), held)
+        return wire.PaletteReply(
+            id=frame.id,
+            node=frame.node,
+            color=int(engine.colors[frame.node]),
+            num_colors=num_colors,
+            free=free.tolist(),
+        )
+
+    def _handle_snapshot(self, frame: wire.SnapshotRequest) -> wire.Frame:
+        engine = self._engine_or_raise(frame.id)
+        path = frame.path or self.snapshot_path
+        if not path:
+            raise wire.ProtocolError(
+                "snapshot-failed",
+                "no path: pass one in the request or start with --snapshot-path",
+                id=frame.id,
+            )
+        try:
+            info = save_snapshot(engine, path)
+        except OSError as exc:
+            raise wire.ProtocolError(
+                "snapshot-failed", f"cannot write {path}: {exc}", id=frame.id
+            ) from exc
+        self.snapshots_written += 1
+        self.last_snapshot_index = info.batch_index
+        return wire.SnapshotSaved(
+            id=frame.id,
+            path=info.path,
+            batch_index=info.batch_index,
+            bytes=info.bytes,
+        )
+
+    def stats(self) -> dict:
+        """The ``stats_report`` payload (docs/PROTOCOL.md §stats)."""
+        out = {
+            "server": _SERVER_NAME,
+            "protocol_version": wire.PROTOCOL_VERSION,
+            "endpoint": self.endpoint,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "graph_loaded": self.engine is not None,
+            "initial": self.initial_mode,
+            "queue_depth": self._queue.qsize(),
+            "queue_max": self._queue.maxsize,
+            "coalesce_max": int(self.cfg.serve_coalesce_max),
+            "snapshot_every": int(self.cfg.serve_snapshot_every),
+            "batches_applied": self.batches_applied,
+            "coalesced_batches": self.coalesced_batches,
+            "rejected_batches": self.rejected_batches,
+            "fallbacks": self.fallbacks,
+            "snapshots_written": self.snapshots_written,
+            "last_snapshot_index": self.last_snapshot_index,
+        }
+        engine = self.engine
+        if engine is not None:
+            metrics = engine.net.metrics
+            out.update(
+                {
+                    "n": engine.n,
+                    "active": int(engine.active.sum()),
+                    "m": int(engine.net.m),
+                    "delta": int(engine.net.delta),
+                    "colors_used": engine.colors_used(),
+                    "batch_index": engine.batch_index,
+                    "proper": engine.is_proper(),
+                    "complete": engine.is_complete(),
+                    "rounds_total": int(metrics.total_rounds),
+                    "bits_total": int(metrics.total_bits),
+                }
+            )
+        return out

@@ -72,6 +72,8 @@ class ShardReport:
     seconds: float
 
     def as_dict(self) -> dict:
+        """JSON-safe flat dict of this shard's interior account (one row
+        of the CLI's per-shard table and of benchmark stores)."""
         return {
             "shard": self.shard,
             "n_interior": self.n_interior,
@@ -120,9 +122,13 @@ class ShardedResult:
 
     @property
     def touched_fraction(self) -> float:
+        """Share of all nodes recolored during reconciliation — the
+        cheapness-of-the-cut claim: stays near the boundary fraction."""
         return self.reconcile_touched / max(self.n, 1)
 
     def as_dict(self) -> dict:
+        """JSON-safe report: run-level fields plus ``shards`` (one
+        :meth:`ShardReport.as_dict` row per shard)."""
         return {
             "n": self.n,
             "k": self.k,
@@ -259,6 +265,9 @@ class ShardedColoring:
         return self.cfg.with_seed(self.seq.derive_seed("color", shard))
 
     def run(self) -> ShardedResult:
+        """Execute the full partitioned run: partition → k interior
+        colorings (pool or inline) → merge → cut reconciliation.
+        Deterministic in ``(graph, config)`` regardless of ``workers``."""
         cfg, net = self.cfg, self.net
         metrics = net.metrics
         t0 = time.perf_counter()

@@ -72,6 +72,8 @@ class Partition:
         return np.unique(cut.reshape(-1)) if cut.size else np.empty(0, np.int64)
 
     def cut_stats(self, net: BroadcastNetwork) -> dict:
+        """Partition-quality summary (cut size/fraction, boundary size,
+        shard-balance extremes) — what the strategy comparisons report."""
         cut = int(self.cut_mask(net).sum())
         sizes = self.sizes()
         return {

@@ -43,9 +43,11 @@ class TestExamples:
         assert "shape fits" in out
 
     def test_streaming_demo(self):
-        out = run_example("streaming_demo.py")
-        assert "peak working set" in out
-        assert "stream_reduce" in out
+        out = run_example("streaming_demo.py", "300", "0.08", "1", "3")
+        assert "streaming mobility batches" in out
+        assert "proper=True complete=True" in out
+        assert "bit-identical to the in-process engine" in out
+        assert "clean shutdown" in out
 
     def test_decomposition_tour(self):
         out = run_example("decomposition_tour.py", "1")

@@ -1,0 +1,417 @@
+"""The streaming service: coalescing, snapshots, and the live daemon.
+
+Three layers of guarantees, in test-speed order:
+
+* **coalescing** is topology-exact: applying the merged batch leaves the
+  CSR and active set byte-identical to applying the constituents one by
+  one, and the coloring invariant holds either way (property test over
+  random churn, including depart-then-rearrive and delete-of-merged-
+  insert windows).
+* **snapshot/restore ≡ never-crashed**: a restored engine replays the
+  remaining batches to byte-identical colors, at every cut point.
+* **the daemon**: a real subprocess behind a unix socket must produce
+  the same final coloring as the in-process engine with the same seed,
+  survive kill -9 + ``--restore``, reject floods with ``queue-full`` +
+  ``retry_after``, and enforce hello/version rules.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import ColoringConfig
+from repro.dynamic import DynamicColoring
+from repro.dynamic.events import UpdateBatch
+from repro.graphs.families import make_churn, make_graph
+from repro.serve import protocol as wire
+from repro.serve.client import ServeClient
+from repro.serve.coalesce import coalesce_batches
+from repro.serve.snapshot import load_snapshot, restore_engine, save_snapshot
+
+
+def random_batches(n, edges, rng, count=6, events=20):
+    """Random churn with tracked topology, exercising the nasty merge
+    windows: deletes of just-inserted edges, depart-then-rearrive."""
+    current = {tuple(sorted(e)) for e in edges.tolist()}
+    active = set(range(n))
+    batches = []
+    for _ in range(count):
+        inactive = sorted(set(range(n)) - active)
+        departures = sorted(
+            rng.choice(sorted(active), size=min(3, len(active) - 2), replace=False)
+            .tolist()
+        )
+        arrivals = sorted(
+            rng.choice(inactive, size=min(2, len(inactive)), replace=False).tolist()
+        ) if inactive else []
+        next_active = (active - set(departures)) | set(arrivals)
+        pool = sorted(next_active)
+        inserts = set()
+        for _ in range(events):
+            u, v = rng.choice(pool, size=2, replace=False)
+            key = (min(int(u), int(v)), max(int(u), int(v)))
+            if key not in current:
+                inserts.add(key)
+        deletable = [e for e in sorted(current) if not (set(e) & set(departures))]
+        deletes = [
+            tuple(e) for e in rng.permutation(deletable)[: events // 4].tolist()
+        ]
+        batch = UpdateBatch(
+            insert_edges=sorted(inserts),
+            delete_edges=sorted(deletes),
+            arrivals=arrivals,
+            departures=departures,
+        )
+        batches.append(batch)
+        # Track resulting topology the way the engine applies it.
+        current -= {e for e in current if set(e) & set(departures)}
+        current -= set(deletes)
+        current |= inserts
+        active = next_active
+    return batches
+
+
+class TestCoalesce:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_merge_is_topology_exact(self, seed):
+        rng = np.random.default_rng(seed)
+        n, edges = make_graph("gnp", 120, 8.0, seed)
+        cfg = ColoringConfig.practical(seed=seed)
+        batches = random_batches(n, edges, rng)
+
+        seq = DynamicColoring((n, edges), cfg)
+        for batch in batches:
+            seq.apply_batch(batch)
+
+        merged_engine = DynamicColoring((n, edges), cfg)
+        merged = coalesce_batches(merged_engine.net, batches)
+        report = merged_engine.apply_batch(merged)
+
+        def topo(engine):
+            e = engine.net.undirected_edges()
+            return sorted(map(tuple, e.tolist()))
+
+        assert topo(merged_engine) == topo(seq)
+        assert merged_engine.active.tolist() == seq.active.tolist()
+        # Colors may legally differ; the invariant may not.
+        assert merged_engine.is_proper() and merged_engine.is_complete()
+        assert merged_engine.colors_used() <= merged_engine.net.delta + 1
+        assert report.index == 0  # one engine batch for the whole window
+
+    def test_identity_cases(self):
+        n, edges = make_graph("gnp", 60, 6.0, 0)
+        engine = DynamicColoring((n, edges), ColoringConfig.practical(seed=0))
+        assert coalesce_batches(engine.net, []).is_empty
+        one = UpdateBatch(insert_edges=[[0, 1]])
+        assert coalesce_batches(engine.net, [one]) is one
+
+    def test_delete_of_merged_insert_window(self):
+        # insert (4,5) in batch 1, delete it in batch 2 → no insert survives.
+        n = 10
+        engine = DynamicColoring(
+            (n, np.array([[0, 1]])), ColoringConfig.practical(seed=3)
+        )
+        merged = coalesce_batches(
+            engine.net,
+            [UpdateBatch(insert_edges=[[4, 5]]),
+             UpdateBatch(delete_edges=[[4, 5]])],
+        )
+        assert [4, 5] not in merged.insert_edges.tolist()
+
+    def test_departure_expands_window_local_edges(self):
+        # Edge (4,5) exists only inside the window; 4 then departs — the
+        # merged batch must carry the explicit delete.
+        n = 10
+        engine = DynamicColoring(
+            (n, np.array([[0, 1]])), ColoringConfig.practical(seed=0)
+        )
+        merged = coalesce_batches(
+            engine.net,
+            [UpdateBatch(insert_edges=[[4, 5]]),
+             UpdateBatch(departures=[4])],
+        )
+        assert [4, 5] in merged.delete_edges.tolist()
+        assert merged.departures.tolist() == [4]
+        assert merged.insert_edges.size == 0
+
+
+class TestSnapshot:
+    def make_run(self, seed=1):
+        schedule = make_churn("gnp-churn", 200, 8.0, seed, batches=6,
+                              churn_fraction=0.06)
+        cfg = ColoringConfig.practical(seed=seed)
+        return schedule, cfg
+
+    @pytest.mark.parametrize("cut", [0, 2, 5])
+    def test_restore_equals_never_crashed(self, cut, tmp_path):
+        schedule, cfg = self.make_run()
+        batches = list(schedule)
+
+        reference = DynamicColoring(schedule.initial, cfg)
+        for batch in batches:
+            reference.apply_batch(batch)
+
+        engine = DynamicColoring(schedule.initial, cfg)
+        for batch in batches[:cut]:
+            engine.apply_batch(batch)
+        path = tmp_path / "state.npz"
+        info = save_snapshot(engine, path)
+        assert info.batch_index == cut
+
+        restored = restore_engine(path)
+        assert restored.batch_index == cut
+        assert restored.colors.tolist() == engine.colors.tolist()
+        for batch in batches[cut:]:
+            restored.apply_batch(batch)
+
+        assert restored.colors.tolist() == reference.colors.tolist()
+        assert restored.active.tolist() == reference.active.tolist()
+        assert restored.batch_index == reference.batch_index
+
+    def test_snapshot_metadata_and_atomicity(self, tmp_path):
+        schedule, cfg = self.make_run()
+        engine = DynamicColoring(schedule.initial, cfg)
+        path = tmp_path / "state.npz"
+        info = save_snapshot(engine, path)
+        assert info.n == engine.n
+        assert info.bytes == path.stat().st_size
+        assert not path.with_name("state.npz.tmp").exists()
+        loaded, arrays = load_snapshot(path)
+        assert loaded.config == cfg
+        assert arrays["colors"].tolist() == engine.colors.tolist()
+        # Overwrite keeps exactly one file.
+        engine.apply_batch(list(schedule)[0])
+        info2 = save_snapshot(engine, path)
+        assert info2.batch_index == 1
+
+    def test_future_format_rejected(self, tmp_path):
+        import json
+
+        schedule, cfg = self.make_run()
+        engine = DynamicColoring(schedule.initial, cfg)
+        path = tmp_path / "state.npz"
+        save_snapshot(engine, path)
+        _, arrays = load_snapshot(path)
+        meta = {"format": 99, "n": engine.n, "m": 0, "batch_index": 0,
+                "config": {}}
+        np.savez(path, meta=np.frombuffer(json.dumps(meta).encode(),
+                                          dtype=np.uint8), **arrays)
+        with pytest.raises(ValueError, match="format"):
+            load_snapshot(path)
+
+    def test_unknown_config_field_rejected(self, tmp_path):
+        import dataclasses
+        import json
+
+        schedule, cfg = self.make_run()
+        engine = DynamicColoring(schedule.initial, cfg)
+        path = tmp_path / "state.npz"
+        save_snapshot(engine, path)
+        _, arrays = load_snapshot(path)
+        bad_cfg = dict(dataclasses.asdict(cfg), not_a_knob=1)
+        meta = {"format": 1, "n": engine.n, "m": 0, "batch_index": 0,
+                "config": bad_cfg}
+        np.savez(path, meta=np.frombuffer(json.dumps(meta).encode(),
+                                          dtype=np.uint8), **arrays)
+        with pytest.raises(ValueError, match="not_a_knob"):
+            load_snapshot(path)
+
+
+# ----------------------------------------------------------------------
+# Live daemon tests (subprocess behind a unix socket)
+# ----------------------------------------------------------------------
+def spawn_server(tmp_path, *extra):
+    socket_path = str(tmp_path / "serve.sock")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", socket_path, *extra],
+        env={**os.environ},
+        stderr=subprocess.PIPE,
+    )
+    return proc, socket_path
+
+
+def stop(proc):
+    if proc.poll() is None:
+        proc.kill()
+    proc.stderr.close()
+    proc.wait(timeout=10)
+
+
+class TestLiveServer:
+    def test_end_to_end_matches_in_process(self, tmp_path):
+        seed = 2
+        schedule = make_churn("mobile", 250, 8.0, seed, batches=5,
+                              churn_fraction=0.2)
+        n, edges = schedule.initial
+        proc, sock = spawn_server(tmp_path, "--coalesce-max", "1")
+        try:
+            with ServeClient(socket_path=sock) as client:
+                assert client.welcome.v == wire.PROTOCOL_VERSION
+                loaded = client.load_graph(n, edges, seed=seed)
+                assert loaded.n == n and loaded.initial == "pipeline"
+                for batch in schedule:
+                    report = client.update_batch(batch)
+                    assert report.coalesced == 1
+                    assert report.report["proper"]
+                final = client.query_colors()
+                stats = client.stats()
+                client.shutdown()
+            proc.wait(timeout=20)
+            assert proc.returncode == 0
+        finally:
+            stop(proc)
+
+        engine = DynamicColoring(schedule.initial,
+                                 ColoringConfig.practical(seed=seed))
+        for batch in schedule:
+            engine.apply_batch(batch)
+        assert final.colors == engine.colors.tolist()
+        assert final.proper and final.complete
+        assert stats["batches_applied"] == schedule.num_batches
+        assert stats["batch_index"] == schedule.num_batches
+
+    def test_kill_then_restore_from_snapshot(self, tmp_path):
+        seed = 4
+        schedule = make_churn("gnp-churn", 200, 8.0, seed, batches=6,
+                              churn_fraction=0.06)
+        n, edges = schedule.initial
+        batches = list(schedule)
+        cut = 3
+        snap = str(tmp_path / "serve.npz")
+
+        proc, sock = spawn_server(tmp_path, "--coalesce-max", "1",
+                                  "--snapshot-path", snap)
+        try:
+            with ServeClient(socket_path=sock) as client:
+                client.load_graph(n, edges, seed=seed)
+                for batch in batches[:cut]:
+                    client.update_batch(batch)
+                saved = client.snapshot()
+                assert saved.batch_index == cut
+                os.kill(proc.pid, signal.SIGKILL)  # no goodbye, no flush
+            proc.wait(timeout=10)
+        finally:
+            stop(proc)
+
+        proc, sock = spawn_server(tmp_path, "--coalesce-max", "1",
+                                  "--restore", snap)
+        try:
+            with ServeClient(socket_path=sock) as client:
+                stats = client.stats()
+                assert stats["graph_loaded"] and stats["initial"] == "restored"
+                assert stats["batch_index"] == cut
+                for batch in batches[cut:]:
+                    client.update_batch(batch)
+                final = client.query_colors()
+                client.shutdown()
+            proc.wait(timeout=20)
+        finally:
+            stop(proc)
+
+        reference = DynamicColoring(schedule.initial,
+                                    ColoringConfig.practical(seed=seed))
+        for batch in batches:
+            reference.apply_batch(batch)
+        assert final.colors == reference.colors.tolist()
+
+    def test_backpressure_queue_full_with_retry_after(self, tmp_path):
+        seed = 5
+        n, edges = make_graph("gnp", 400, 12.0, seed)
+        rng = np.random.default_rng(seed)
+        proc, sock = spawn_server(tmp_path, "--queue-max", "2",
+                                  "--coalesce-max", "1")
+        try:
+            with ServeClient(socket_path=sock) as client:
+                client.load_graph(n, edges, seed=seed)
+                batches = random_batches(n, edges, rng, count=60, events=30)
+                ids = [client.submit_batch(b) for b in batches]  # flood
+                rejected, reported = [], set()
+                deadline = time.monotonic() + 60
+                while len(rejected) + len(reported) < len(ids):
+                    assert time.monotonic() < deadline, "flood never resolved"
+                    frame = client.recv()
+                    assert frame is not None
+                    if isinstance(frame, wire.ErrorFrame):
+                        assert frame.code == "queue-full"
+                        assert frame.retry_after and frame.retry_after > 0
+                        rejected.append(frame.id)
+                    else:
+                        assert isinstance(frame, wire.BatchReportFrame)
+                        reported |= set(frame.ids)
+                assert rejected, "queue never overflowed — no backpressure seen"
+                # Accepted work still finished properly under the flood.
+                final = client.query_colors()
+                assert final.proper and final.complete
+                stats = client.stats()
+                assert stats["rejected_batches"] == len(rejected)
+                client.shutdown()
+            proc.wait(timeout=20)
+        finally:
+            stop(proc)
+
+    def test_hello_rules_and_errors(self, tmp_path):
+        proc, sock = spawn_server(tmp_path)
+        try:
+            # No hello → everything but hello is rejected.
+            client = ServeClient(socket_path=sock)
+            client.send(wire.StatsRequest(id=1))
+            reply = client.recv()
+            assert isinstance(reply, wire.ErrorFrame)
+            assert reply.code == "hello-required"
+            client.close()
+
+            # Unknown version → bad-version.
+            client = ServeClient(socket_path=sock)
+            client.send(wire.Hello(id=1, versions=[999]))
+            reply = client.recv()
+            assert isinstance(reply, wire.ErrorFrame)
+            assert reply.code == "bad-version"
+            client.close()
+
+            with ServeClient(socket_path=sock) as client:
+                # Queries before load_graph → no-graph.
+                with pytest.raises(wire.ProtocolError) as err:
+                    client.query_colors()
+                assert err.value.code == "no-graph"
+                # Malformed payload survives the connection.
+                client.send(wire.LoadGraph(id=9, n=4, edges=[[0, 9]]))
+                reply = client.recv()
+                assert isinstance(reply, wire.ErrorFrame)
+                assert reply.code == "bad-payload" and reply.id == 9
+                # Connection still usable afterwards.
+                loaded = client.load_graph(4, [[0, 1], [2, 3]], seed=1)
+                assert loaded.m == 2
+                client.shutdown()
+            proc.wait(timeout=20)
+        finally:
+            stop(proc)
+
+    def test_sharded_initial_and_palette(self, tmp_path):
+        seed = 6
+        n, edges = make_graph("gnp", 300, 10.0, seed)
+        proc, sock = spawn_server(tmp_path)
+        try:
+            with ServeClient(socket_path=sock) as client:
+                loaded = client.load_graph(
+                    n, edges, seed=seed, initial="sharded", shard_k=3
+                )
+                assert loaded.initial == "sharded"
+                assert loaded.colors_used <= loaded.delta + 1
+                colors = client.query_colors()
+                assert colors.proper and colors.complete
+                pal = client.query_palette(0)
+                assert pal.num_colors == loaded.delta + 1
+                # free = not held by any neighbor, so in a proper coloring
+                # the node's own color is always free.
+                assert pal.color in pal.free
+                subset = client.query_colors(nodes=[0])
+                assert subset.colors == [pal.color]
+                client.shutdown()
+            proc.wait(timeout=20)
+        finally:
+            stop(proc)

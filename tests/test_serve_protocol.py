@@ -1,0 +1,209 @@
+"""Wire-protocol unit tests: framing, round-trips, malformed rejection.
+
+Every frame type registered in ``MESSAGE_TYPES`` must survive
+encode → decode exactly (frames are plain-data dataclasses, so equality
+is field equality), and every malformed input must be rejected with the
+documented error code — these are the docs/PROTOCOL.md guarantees a
+client is allowed to rely on.
+"""
+
+import io
+import json
+import struct
+
+import pytest
+
+from repro.dynamic.events import UpdateBatch
+from repro.serve import protocol as wire
+
+
+def roundtrip(frame: wire.Frame) -> wire.Frame:
+    out = wire.read_frame(io.BytesIO(wire.encode_frame(frame)))
+    assert out is not None
+    return out
+
+
+SAMPLE_FRAMES = [
+    wire.Hello(id=1, versions=[1], client="test"),
+    wire.LoadGraph(id=2, n=4, edges=[[0, 1], [2, 3]], config={"seed": 9}),
+    wire.UpdateBatchFrame(
+        id=3, insert_edges=[[0, 2]], delete_edges=[[2, 3]],
+        arrivals=[1], departures=[3],
+    ),
+    wire.QueryColors(id=4, nodes=[0, 1]),
+    wire.QueryColors(id=5, nodes=None),
+    wire.QueryPalette(id=6, node=2),
+    wire.StatsRequest(id=7),
+    wire.SnapshotRequest(id=8, path="/tmp/x.npz"),
+    wire.SnapshotRequest(id=9, path=None),
+    wire.Shutdown(id=10),
+    wire.Welcome(id=11, v=1, server="repro-serve/x", n=4),
+    wire.GraphLoaded(id=12, n=4, m=2, delta=1, colors_used=2,
+                     initial_rounds=7, seconds=0.25, initial="sharded"),
+    wire.BatchReportFrame(ids=[3, 4], coalesced=2, report={"mode": "repair"}),
+    wire.ColorsReply(id=13, nodes=[0, 1], colors=[1, 0],
+                     proper=True, complete=False),
+    wire.PaletteReply(id=14, node=2, color=1, num_colors=3, free=[0, 2]),
+    wire.StatsReply(id=15, stats={"batches_applied": 2}),
+    wire.SnapshotSaved(id=16, path="/tmp/x.npz", batch_index=5, bytes=1024),
+    wire.Goodbye(id=17),
+    wire.ErrorFrame(id=18, code="queue-full", message="full", retry_after=0.05),
+    wire.ErrorFrame(id=None, code="internal", message="boom"),
+]
+
+
+class TestRegistry:
+    def test_every_request_has_a_type(self):
+        assert len(wire.REQUEST_TYPES) == 8
+        assert all(cls.TYPE == key for key, cls in wire.REQUEST_TYPES.items())
+
+    def test_every_response_has_a_type(self):
+        assert len(wire.RESPONSE_TYPES) == 9
+        assert all(cls.TYPE == key for key, cls in wire.RESPONSE_TYPES.items())
+
+    def test_registries_are_disjoint_and_union(self):
+        assert not set(wire.REQUEST_TYPES) & set(wire.RESPONSE_TYPES)
+        assert wire.MESSAGE_TYPES == {**wire.REQUEST_TYPES, **wire.RESPONSE_TYPES}
+
+    def test_samples_cover_every_type(self):
+        covered = {f.TYPE for f in SAMPLE_FRAMES}
+        assert covered == set(wire.MESSAGE_TYPES)
+
+    def test_error_codes_are_unique(self):
+        assert len(set(wire.ERROR_CODES)) == len(wire.ERROR_CODES)
+
+    def test_protocol_error_rejects_unknown_code(self):
+        with pytest.raises(ValueError):
+            wire.ProtocolError("not-a-code", "x")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "frame", SAMPLE_FRAMES, ids=lambda f: f"{f.TYPE}-{f.id}"
+    )
+    def test_encode_decode_is_identity(self, frame):
+        assert roundtrip(frame) == frame
+
+    def test_wire_bytes_are_json_lines(self):
+        raw = wire.encode_frame(wire.Hello(id=1))
+        body = raw[4:]
+        assert body.endswith(b"\n")
+        assert json.loads(body)["type"] == "hello"
+        assert struct.unpack(">I", raw[:4])[0] == len(body)
+
+    def test_update_batch_frame_to_engine_batch(self):
+        batch = UpdateBatch(insert_edges=[[0, 1]], departures=[5])
+        frame = roundtrip(wire.UpdateBatchFrame.from_batch(batch, id=7))
+        again = frame.batch
+        assert again.insert_edges.tolist() == [[0, 1]]
+        assert again.departures.tolist() == [5]
+
+    def test_stream_of_frames(self):
+        buf = io.BytesIO()
+        for frame in SAMPLE_FRAMES:
+            wire.write_frame(buf, frame)
+        buf.seek(0)
+        got = []
+        while (frame := wire.read_frame(buf)) is not None:
+            got.append(frame)
+        assert got == SAMPLE_FRAMES
+
+    def test_error_frame_to_exception(self):
+        exc = wire.ErrorFrame(id=3, code="queue-full", retry_after=0.1).to_exception()
+        assert exc.code == "queue-full"
+        assert exc.retry_after == 0.1
+        assert exc.id == 3
+
+
+def encode_raw(obj) -> bytes:
+    body = json.dumps(obj).encode() + b"\n"
+    return struct.pack(">I", len(body)) + body
+
+
+class TestMalformed:
+    def expect(self, raw: bytes, code: str):
+        with pytest.raises(wire.ProtocolError) as err:
+            wire.read_frame(io.BytesIO(raw))
+        assert err.value.code == code
+
+    def test_truncated_header(self):
+        self.expect(b"\x00\x00", "bad-frame")
+
+    def test_truncated_body(self):
+        raw = wire.encode_frame(wire.Hello(id=1))
+        self.expect(raw[:-5], "bad-frame")
+
+    def test_oversized_length_prefix(self):
+        self.expect(struct.pack(">I", wire.MAX_FRAME_BYTES + 1), "frame-too-large")
+
+    def test_body_not_json(self):
+        body = b"this is not json\n"
+        self.expect(struct.pack(">I", len(body)) + body, "bad-frame")
+
+    def test_body_not_an_object(self):
+        self.expect(encode_raw([1, 2, 3]), "bad-frame")
+
+    def test_missing_type(self):
+        self.expect(encode_raw({"id": 1}), "bad-payload")
+
+    def test_unknown_type(self):
+        self.expect(encode_raw({"type": "warp-core", "id": 1}), "bad-type")
+
+    def test_missing_id(self):
+        self.expect(encode_raw({"type": "hello", "versions": [1]}), "bad-payload")
+
+    def test_wrong_field_type(self):
+        self.expect(
+            encode_raw({"type": "hello", "id": 1, "versions": "one"}), "bad-payload"
+        )
+
+    def test_bool_is_not_an_int(self):
+        # JSON true must not satisfy an int-typed field.
+        self.expect(
+            encode_raw({"type": "query_palette", "id": 1, "node": True}),
+            "bad-payload",
+        )
+
+    def test_bad_edge_pairs(self):
+        self.expect(
+            encode_raw({"type": "update_batch", "id": 1,
+                        "insert_edges": [[0, 1, 2]]}),
+            "bad-payload",
+        )
+        self.expect(
+            encode_raw({"type": "update_batch", "id": 1,
+                        "insert_edges": [[0, "x"]]}),
+            "bad-payload",
+        )
+
+    def test_bad_node_list(self):
+        self.expect(
+            encode_raw({"type": "query_colors", "id": 1, "nodes": [1.5]}),
+            "bad-payload",
+        )
+
+    def test_nonpositive_n(self):
+        self.expect(encode_raw({"type": "load_graph", "id": 1, "n": 0}),
+                    "bad-payload")
+
+    def test_config_keys_must_be_strings(self):
+        # json keys are always strings, but from_payload guards direct use.
+        with pytest.raises(wire.ProtocolError) as err:
+            wire.LoadGraph.from_payload(
+                {"type": "load_graph", "id": 1, "n": 2, "config": {3: 4}}
+            )
+        assert err.value.code == "bad-payload"
+
+    def test_unknown_error_code_on_wire(self):
+        self.expect(
+            encode_raw({"type": "error", "id": 1, "code": "nope"}), "bad-payload"
+        )
+
+    def test_oversized_frame_refused_on_encode(self):
+        huge = wire.QueryColors(id=1, nodes=list(range(10_000_000)))
+        with pytest.raises(wire.ProtocolError) as err:
+            wire.encode_frame(huge)
+        assert err.value.code == "frame-too-large"
+
+    def test_clean_eof_is_none(self):
+        assert wire.read_frame(io.BytesIO(b"")) is None
