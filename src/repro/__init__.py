@@ -36,7 +36,7 @@ from repro.core.state import ColoringState
 from repro.dynamic import ChurnSchedule, DynamicColoring, UpdateBatch
 from repro.simulator.network import BroadcastNetwork
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BroadcastColoring",

@@ -345,11 +345,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     if (args.socket is None) == (args.port is None):
         raise SystemExit("repro serve: pass exactly one of --socket / --port")
+    fault_plan = None
+    if args.fault_plan:
+        from repro.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.load(args.fault_plan)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro serve: cannot load --fault-plan: {exc}")
     cfg = ColoringConfig.practical(
         seed=args.seed,
         serve_queue_max=args.queue_max,
         serve_coalesce_max=args.coalesce_max,
         serve_snapshot_every=args.snapshot_every,
+        serve_snapshot_keep=args.snapshot_keep,
+        serve_idle_timeout_s=args.idle_timeout,
     )
     server = ColoringServer(
         cfg,
@@ -358,9 +368,46 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         snapshot_path=args.snapshot_path,
         restore=args.restore,
+        fault_plan=fault_plan,
     )
     asyncio.run(server.run_until_stopped())
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import FaultPlan, chaos_dynamic, chaos_serve, chaos_shard
+
+    try:
+        plan = FaultPlan.load(args.plan)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro chaos: cannot load --plan: {exc}")
+    # Per-target defaults mirror the chaos_* signatures; explicit flags win.
+    defaults = {
+        "shard": ("geometric", 2000, 12.0, 7),
+        "dynamic": ("gnp-churn", 800, 8.0, 3),
+        "serve": ("gnp-churn", 300, 8.0, 5),
+    }[args.target]
+    family = args.family if args.family is not None else defaults[0]
+    n = args.n if args.n is not None else defaults[1]
+    avg_degree = args.avg_degree if args.avg_degree is not None else defaults[2]
+    seed = args.seed if args.seed is not None else defaults[3]
+    if args.target == "shard":
+        report = chaos_shard(
+            plan, family=family, n=n, avg_degree=avg_degree,
+            seed=seed, k=args.k, workers=args.workers,
+        )
+    elif args.target == "dynamic":
+        report = chaos_dynamic(
+            plan, family=family, n=n, avg_degree=avg_degree,
+            seed=seed, batches=args.batches,
+        )
+    else:
+        report = chaos_serve(
+            plan, family=family, n=n, avg_degree=avg_degree,
+            seed=seed, batches=args.batches,
+        )
+    _emit(report, args.json)
+    return 0 if report["oracle_ok"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -524,7 +571,41 @@ def build_parser() -> argparse.ArgumentParser:
                          help="where periodic/final snapshots go")
     p_serve.add_argument("--restore", default=None, metavar="PATH",
                          help="warm-start the engine from a snapshot")
+    p_serve.add_argument("--snapshot-keep", type=int, default=2,
+                         help="rotated snapshot generations kept on disk "
+                              "(.1, .2, ... — restore falls back through them)")
+    p_serve.add_argument("--idle-timeout", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="disconnect sessions idle for this long "
+                              "(0 = never)")
+    p_serve.add_argument("--fault-plan", default=None, metavar="PATH",
+                         help="arm a TOML fault plan (chaos testing only; "
+                              "see docs/RUNBOOK.md)")
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run a workload under a fault plan and check the recovery "
+             "oracle (byte-equal colors vs a fault-free run)",
+    )
+    p_chaos.add_argument("target", choices=["shard", "dynamic", "serve"],
+                         help="which supervised subsystem to attack")
+    p_chaos.add_argument("--plan", required=True, metavar="PATH",
+                         help="TOML fault plan (see benchmarks/plans/faults_*.toml)")
+    p_chaos.add_argument("--family", default=None,
+                         help="graph family (default: geometric for shard, "
+                              "gnp-churn for dynamic/serve)")
+    p_chaos.add_argument("--n", type=int, default=None)
+    p_chaos.add_argument("--avg-degree", type=float, default=None)
+    p_chaos.add_argument("--seed", type=int, default=None)
+    p_chaos.add_argument("--k", type=int, default=4,
+                         help="shards (target=shard)")
+    p_chaos.add_argument("--workers", type=int, default=2,
+                         help="shard worker pool size (target=shard)")
+    p_chaos.add_argument("--batches", type=int, default=8,
+                         help="churn batches (target=dynamic/serve)")
+    p_chaos.add_argument("--json", action="store_true")
+    p_chaos.set_defaults(fn=cmd_chaos)
 
     return parser
 

@@ -209,6 +209,33 @@ class ColoringConfig:
     re-colors its victims (adoption is proper by construction); extra
     sweeps only fire when a repair stalls at the round cap."""
 
+    shard_worker_timeout_s: float = 0.0
+    """Per-shard wall-clock deadline for pool workers (seconds): a shard
+    whose worker has not returned within this budget counts as a
+    ``worker_timeout`` fault and is retried/degraded by the supervisor
+    (DESIGN.md §9).  0 disables the deadline.  Inline execution
+    (``workers=1``) cannot be deadlined — the driver would be
+    interrupting itself."""
+
+    shard_max_retries: int = 2
+    """How many times the shard supervisor re-submits a failed shard
+    (crash, ``BrokenProcessPool``, deadline overrun) before degrading.
+    Retries replay the *same* derived per-shard seed, so a recovered run
+    is bit-identical to a fault-free one."""
+
+    shard_retry_backoff_s: float = 0.05
+    """Base of the supervisor's capped exponential backoff between
+    retries of one shard: attempt ``a`` waits
+    ``base · 2^(a-1) · jitter`` with a deterministic jitter in
+    [0.5, 1.0) derived from the run's seed sequencer."""
+
+    shard_inline_fallback: bool = True
+    """Graceful degradation: when a shard exhausts its retries, color it
+    inline in the driver (with any armed fault plan suppressed) instead
+    of failing the run.  Off = raise
+    :class:`repro.shard.engine.ShardWorkerError` — the fail-fast mode
+    the ``BrokenProcessPool`` propagation test pins."""
+
     # --- streaming service (repro.serve, DESIGN.md §8) ---
     serve_queue_max: int = 64
     """Admission control for ``repro serve``: the bounded depth of the
@@ -238,6 +265,20 @@ class ColoringConfig:
     """The ``retry_after`` hint (seconds) carried by ``queue-full`` error
     frames — the client-visible half of the admission-control contract.
     Clients should wait at least this long before resubmitting."""
+
+    serve_snapshot_keep: int = 2
+    """Snapshot rotation depth for ``repro serve``: how many snapshot
+    generations exist on disk (the current file plus ``.1``, ``.2``, …
+    predecessors).  A torn or corrupt current snapshot falls back to the
+    previous generation on restore (:func:`repro.serve.snapshot.restore_engine`).
+    1 keeps only the current file — the pre-rotation behavior."""
+
+    serve_idle_timeout_s: float = 0.0
+    """Per-session idle timeout for ``repro serve`` (seconds): a
+    connection that sends no frame for this long is closed by the
+    server, reclaiming sessions abandoned by crashed clients.  Clients
+    that idle legitimately keep the session alive with the ``ping``
+    heartbeat verb.  0 disables the timeout."""
 
     # --- ablation switches (DESIGN.md design-choice experiments) ---
     enable_matching: bool = True

@@ -1,0 +1,53 @@
+"""``repro.faults`` — deterministic fault injection + chaos campaigns.
+
+The robustness layer of the repo (DESIGN.md §9): a seeded
+:class:`FaultPlan` maps named injection sites (:data:`SITES`, compiled
+into :mod:`repro.shard`, :mod:`repro.serve` and :mod:`repro.runner` as
+:func:`inject` hooks) to deterministic fault schedules — crash, hang,
+slow, torn-write — and the chaos harness (:mod:`repro.faults.chaos`,
+``repro chaos``) runs real workloads under a plan and checks the
+**byte-equality oracle**: because every engine is a pure function of
+``(graph, config, seed)``, a run that crashed and recovered must end in
+exactly the colors of a run that never failed.
+
+Layers:
+
+* :mod:`repro.faults.plan` — plans, rules, the armed-plan runtime and
+  the zero-cost-when-disarmed :func:`inject` hook;
+* :mod:`repro.faults.chaos` — the three campaign drivers (shard /
+  dynamic / serve) behind the ``repro chaos`` subcommand.
+"""
+
+from repro.faults.plan import (
+    KINDS,
+    SITES,
+    Fault,
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    arm,
+    armed_plan,
+    disarm,
+    fault_events,
+    inject,
+    suppressed,
+)
+from repro.faults.chaos import chaos_dynamic, chaos_serve, chaos_shard
+
+__all__ = [
+    "SITES",
+    "KINDS",
+    "Fault",
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjected",
+    "inject",
+    "arm",
+    "disarm",
+    "armed_plan",
+    "suppressed",
+    "fault_events",
+    "chaos_shard",
+    "chaos_dynamic",
+    "chaos_serve",
+]

@@ -1,0 +1,413 @@
+"""Seeded, serializable fault plans and the ``inject`` hook (DESIGN.md §9).
+
+The algorithms of this repo are pure functions of ``(graph, config,
+seed)``.  That purity is what makes *deterministic* chaos testing
+possible: if a shard worker is crashed and retried, or a daemon is
+killed mid-snapshot and restored, the recovered run must produce colors
+**byte-identical** to a run in which nothing ever failed.  This module
+provides the half that breaks things on purpose; the supervision code in
+:mod:`repro.shard.engine` and :mod:`repro.serve` provides the half that
+survives it.
+
+Model
+-----
+A :class:`FaultPlan` is a named, seeded list of :class:`FaultRule`\\ s.
+Each rule binds one *injection site* (a string from :data:`SITES`,
+compiled into the target code as an :func:`inject` call) to one fault
+``kind``:
+
+* ``"crash"`` — raise :class:`FaultInjected` (soft), or ``os._exit(70)``
+  when ``hard`` (a genuine process death: the pool sees
+  ``BrokenProcessPool``, the daemon simply vanishes);
+* ``"hang"`` — sleep ``seconds`` inside the call site (a stall long
+  enough to trip wall-clock deadlines);
+* ``"slow"`` — sleep ``seconds * factor`` (degraded but live: must *not*
+  trip deadlines tuned for hangs);
+* ``"torn-write"`` — returned to the site as a cooperative
+  :class:`Fault`; write sites (``serve.snapshot.write``) react by
+  truncating their output mid-write, then either raising (soft) or
+  ``os._exit``-ing (hard — the SIGKILL-mid-write simulation).
+
+Rules fire deterministically: ``match`` is a subset-equality test on the
+context keywords the site passes to :func:`inject`, ``prob`` thins the
+matches with a coin derived (blake2b) from ``(plan.seed, rule index,
+match count)`` — never from global RNG state — and ``max_fires`` caps
+the total. A plan serializes to/from TOML so it can ride the same spec
+files as the runner's matrices, and its :attr:`FaultPlan.key` is a
+content hash (two equal plans always collide, any edit always misses).
+
+Zero cost when disarmed
+-----------------------
+:func:`inject` begins with one module-global load and an ``is None``
+test; until :func:`arm` installs a plan, that is the *entire* cost of a
+compiled-in site (benchmarked in ``benchmarks/bench_faults.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "SITES",
+    "KINDS",
+    "Fault",
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjected",
+    "inject",
+    "arm",
+    "disarm",
+    "armed_plan",
+    "suppressed",
+    "fault_events",
+]
+
+SITES = (
+    "shard.worker",
+    "serve.snapshot.write",
+    "serve.connection",
+    "runner.trial",
+)
+"""Every injection site compiled into the code base.  A plan naming any
+other site is rejected at construction — a typo must fail loudly, not
+silently never fire."""
+
+KINDS = ("crash", "hang", "slow", "torn-write")
+"""The fault kinds a rule can deliver (see the module docstring)."""
+
+_EXIT_CODE = 70
+"""Process exit status used by ``hard`` faults (BSD's EX_SOFTWARE) —
+distinguishable from a clean 0 and from python's uncaught-exception 1."""
+
+
+class FaultInjected(Exception):
+    """The exception a *soft* ``crash`` (or a soft ``torn-write`` site)
+    raises: the failure the supervision layer is expected to catch,
+    retry, and recover from bit-identically."""
+
+    def __init__(self, site: str, kind: str, detail: str = "") -> None:
+        super().__init__(f"injected {kind} at {site}" + (f": {detail}" if detail else ""))
+        self.site = site
+        self.kind = kind
+        self.detail = detail
+
+    def __reduce__(self):
+        # Exception's default __reduce__ replays ``args`` (the formatted
+        # message) into __init__, which has the wrong arity — and an
+        # exception that cannot unpickle kills the pool's result pipe,
+        # escalating every soft crash into a BrokenProcessPool.
+        return (type(self), (self.site, self.kind, self.detail))
+
+
+@dataclass(frozen=True)
+class Fault:
+    """What :func:`inject` fired: handed back to cooperative sites
+    (``torn-write``) and recorded in the armed plan's event log."""
+
+    site: str
+    kind: str
+    seconds: float = 0.0
+    factor: float = 1.0
+    hard: bool = False
+    rule_index: int = -1
+
+    def as_dict(self) -> dict:
+        """JSON-safe form (the event-log row)."""
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "seconds": self.seconds,
+            "factor": self.factor,
+            "hard": self.hard,
+            "rule_index": self.rule_index,
+        }
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic fault schedule entry of a :class:`FaultPlan`.
+
+    ``match`` is a subset-equality predicate over the context keywords
+    the site passes to :func:`inject` (``{"shard": 1, "attempt": 1}``
+    fires only for shard 1's first attempt); an empty match fires for
+    every call at the site.  ``prob`` thins matches with a deterministic
+    coin, ``max_fires`` caps total fires (0 = unlimited), and ``hard``
+    upgrades ``crash``/``torn-write`` to a real process death.
+    """
+
+    site: str
+    kind: str
+    match: tuple[tuple[str, Any], ...] = ()
+    seconds: float = 0.0
+    factor: float = 1.0
+    prob: float = 1.0
+    max_fires: int = 1
+    hard: bool = False
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(f"unknown fault site {self.site!r} (choose from {SITES})")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (choose from {KINDS})")
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError(f"prob must be in [0, 1], got {self.prob}")
+        pairs = self.match.items() if isinstance(self.match, Mapping) else self.match
+        object.__setattr__(
+            self, "match", tuple(sorted((str(k), v) for k, v in pairs))
+        )
+
+    def matches(self, context: Mapping[str, Any]) -> bool:
+        """Subset-equality: every (key, value) of ``match`` must appear
+        verbatim in the site's context."""
+        return all(context.get(k) == v for k, v in self.match)
+
+    def as_dict(self) -> dict:
+        """Canonical JSON-safe form (the content-hash input)."""
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "match": {k: v for k, v in self.match},
+            "seconds": float(self.seconds),
+            "factor": float(self.factor),
+            "prob": float(self.prob),
+            "max_fires": int(self.max_fires),
+            "hard": bool(self.hard),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "FaultRule":
+        """Inverse of :meth:`as_dict` (also the TOML ``[[rule]]`` shape)."""
+        return cls(
+            site=str(d["site"]),
+            kind=str(d["kind"]),
+            match=tuple(dict(d.get("match") or {}).items()),
+            seconds=float(d.get("seconds", 0.0)),
+            factor=float(d.get("factor", 1.0)),
+            prob=float(d.get("prob", 1.0)),
+            max_fires=int(d.get("max_fires", 1)),
+            hard=bool(d.get("hard", False)),
+        )
+
+
+def _toml_scalar(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(float(value))
+    if isinstance(value, str):
+        # JSON string escaping is a valid TOML basic string for our keys.
+        return json.dumps(value)
+    raise TypeError(f"cannot serialize {type(value).__name__} to TOML")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded, content-hashable set of :class:`FaultRule`\\ s.
+
+    The ``seed`` drives every probabilistic coin of the plan (via
+    blake2b, never global RNG), so a campaign under a plan is exactly as
+    reproducible as the algorithms it attacks.  Plans round-trip through
+    dicts (:meth:`as_dict`/:meth:`from_dict`) and TOML
+    (:meth:`to_toml`/:meth:`from_toml`, :meth:`save`/:meth:`load`).
+    """
+
+    name: str
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    @property
+    def key(self) -> str:
+        """128-bit blake2b content hash of the canonical form — two
+        plans with equal fields always collide, any edit always misses
+        (the same contract as :func:`repro.runner.spec.spec_key`)."""
+        blob = json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.blake2b(blob.encode(), digest_size=16).hexdigest()
+
+    def as_dict(self) -> dict:
+        """Canonical JSON-safe form."""
+        return {
+            "name": self.name,
+            "seed": int(self.seed),
+            "rules": [r.as_dict() for r in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "FaultPlan":
+        """Inverse of :meth:`as_dict`; also accepts the TOML document
+        shape (``rule`` instead of ``rules``)."""
+        rules = d.get("rules", d.get("rule") or [])
+        return cls(
+            name=str(d.get("name", "unnamed")),
+            seed=int(d.get("seed", 0)),
+            rules=tuple(FaultRule.from_dict(r) for r in rules),
+        )
+
+    def to_toml(self) -> str:
+        """Serialize to TOML (hand-rolled writer: the container ships
+        ``tomllib`` but no TOML *writer*)."""
+        lines = [f"name = {_toml_scalar(self.name)}", f"seed = {int(self.seed)}", ""]
+        for rule in self.rules:
+            d = rule.as_dict()
+            match = d.pop("match")
+            lines.append("[[rule]]")
+            for key in ("site", "kind", "seconds", "factor", "prob", "max_fires", "hard"):
+                lines.append(f"{key} = {_toml_scalar(d[key])}")
+            if match:
+                inner = ", ".join(
+                    f"{k} = {_toml_scalar(v)}" for k, v in sorted(match.items())
+                )
+                lines.append(f"match = {{{inner}}}")
+            lines.append("")
+        return "\n".join(lines)
+
+    @classmethod
+    def from_toml(cls, text: str) -> "FaultPlan":
+        """Parse a plan from TOML text (see :meth:`to_toml`)."""
+        import tomllib
+
+        return cls.from_dict(tomllib.loads(text))
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the TOML form to ``path``."""
+        Path(path).write_text(self.to_toml(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "FaultPlan":
+        """Read a plan from a TOML file (the ``--fault-plan`` /
+        ``repro chaos --plan`` entry point)."""
+        return cls.from_toml(Path(path).read_text(encoding="utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Runtime: the armed plan and the inject hook
+# ----------------------------------------------------------------------
+class _ArmedState:
+    """Mutable runtime companion of an armed plan: per-rule match/fire
+    counters (the determinism substrate of ``prob``/``max_fires``) and
+    the event log of everything that fired."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.matched = [0] * len(plan.rules)
+        self.fired = [0] * len(plan.rules)
+        self.events: list[dict] = []
+        self._lock = threading.Lock()
+
+    def _coin(self, rule_index: int, match_index: int) -> float:
+        blob = f"{self.plan.seed}\x1f{rule_index}\x1f{match_index}".encode()
+        h = hashlib.blake2b(blob, digest_size=8).digest()
+        return int.from_bytes(h, "big") / float(1 << 64)
+
+    def check(self, site: str, context: Mapping[str, Any]) -> Fault | None:
+        """First-match rule evaluation; returns the fired fault (after
+        delivering its in-band effect) or None."""
+        with self._lock:
+            fault = None
+            for i, rule in enumerate(self.plan.rules):
+                if rule.site != site or not rule.matches(context):
+                    continue
+                self.matched[i] += 1
+                if rule.prob < 1.0 and self._coin(i, self.matched[i]) >= rule.prob:
+                    continue
+                if rule.max_fires > 0 and self.fired[i] >= rule.max_fires:
+                    continue
+                self.fired[i] += 1
+                fault = Fault(
+                    site=site,
+                    kind=rule.kind,
+                    seconds=rule.seconds,
+                    factor=rule.factor,
+                    hard=rule.hard,
+                    rule_index=i,
+                )
+                self.events.append({**fault.as_dict(), "context": dict(context)})
+                break
+        if fault is None:
+            return None
+        # Deliver in-band effects outside the lock.
+        if fault.kind == "hang":
+            time.sleep(max(0.0, fault.seconds))
+            return fault
+        if fault.kind == "slow":
+            time.sleep(max(0.0, fault.seconds * fault.factor))
+            return fault
+        if fault.kind == "crash":
+            if fault.hard:
+                os._exit(_EXIT_CODE)
+            raise FaultInjected(site, "crash")
+        return fault  # torn-write: the cooperative site acts on it
+
+
+_ARMED: _ArmedState | None = None
+
+
+def arm(plan: FaultPlan) -> None:
+    """Install ``plan`` process-wide (counters reset).  Pool workers do
+    not share the driver's counters: each arms its own copy, so rules
+    meant for workers should pin their ``match`` (e.g. on
+    ``shard``/``attempt``) rather than rely on ``max_fires`` across
+    processes."""
+    global _ARMED
+    _ARMED = _ArmedState(plan)
+
+
+def disarm() -> None:
+    """Remove the armed plan (idempotent); restores the zero-cost path."""
+    global _ARMED
+    _ARMED = None
+
+
+def armed_plan() -> FaultPlan | None:
+    """The currently armed plan, or None."""
+    state = _ARMED
+    return None if state is None else state.plan
+
+
+def fault_events() -> list[dict]:
+    """Copy of the armed plan's fired-event log (empty when disarmed) —
+    what the chaos harness reports alongside its oracle verdict."""
+    state = _ARMED
+    return [] if state is None else list(state.events)
+
+
+@contextmanager
+def suppressed() -> Iterator[None]:
+    """Temporarily disarm within a ``with`` block — how graceful
+    degradation (e.g. the shard driver's inline fallback) re-executes
+    work without the plan re-killing it."""
+    global _ARMED
+    saved = _ARMED
+    _ARMED = None
+    try:
+        yield
+    finally:
+        _ARMED = saved
+
+
+def inject(site: str, **context: Any) -> Fault | None:
+    """The hook compiled into every :data:`SITES` call site.
+
+    Disarmed (the production state) this is one global load and an
+    ``is None`` test — nothing else.  Armed, it evaluates the plan's
+    rules against ``context``: ``hang``/``slow`` sleep here and return
+    the fired :class:`Fault`; soft ``crash`` raises
+    :class:`FaultInjected`; hard ``crash`` exits the process; and
+    ``torn-write`` returns the :class:`Fault` for the site to act on.
+    """
+    state = _ARMED
+    if state is None:
+        return None
+    return state.check(site, context)

@@ -23,6 +23,7 @@ from repro.baselines.luby import luby_coloring
 from repro.config import ColoringConfig
 from repro.core.algorithm import BroadcastColoring
 from repro.dynamic.engine import DynamicColoring
+from repro.faults import plan as faults
 from repro.graphs.families import make_churn, make_graph
 from repro.runner.spec import TrialResult, TrialSpec
 from repro.shard.engine import ShardedColoring
@@ -35,16 +36,26 @@ class TrialTimeout(Exception):
     """Raised inside a worker when a trial exceeds its wall-clock budget."""
 
 
-@contextmanager
-def _alarm(timeout_s: float | None):
-    """SIGALRM-based timeout; a no-op off the main thread or off POSIX."""
-    usable = (
+def _alarm_usable(timeout_s: float | None) -> bool:
+    """Whether the SIGALRM guard can actually arm *here*: a positive
+    budget, a POSIX platform, and the main thread of the process
+    (``signal.setitimer`` is main-thread-only).  Pool workers qualify —
+    each worker process runs trials on its own main thread — but a trial
+    driven from a non-main thread silently has no worker-side guard,
+    which is why :class:`TrialResult` surfaces ``guard`` and the pool
+    driver keeps its own wall-clock deadline as a backstop."""
+    return (
         timeout_s is not None
         and timeout_s > 0
         and hasattr(signal, "SIGALRM")
         and threading.current_thread() is threading.main_thread()
     )
-    if not usable:
+
+
+@contextmanager
+def _alarm(timeout_s: float | None):
+    """SIGALRM-based timeout; a no-op when :func:`_alarm_usable` is false."""
+    if not _alarm_usable(timeout_s):
         yield
         return
 
@@ -229,26 +240,40 @@ def _measure_shard(spec: TrialSpec) -> tuple[dict[str, Any], dict[str, float]]:
 
 
 def run_trial(spec: TrialSpec, timeout_s: float | None = None) -> TrialResult:
-    """Execute one trial, never raising: failures become status records."""
+    """Execute one trial, never raising: failures become status records.
+
+    ``guard`` on the result names the timeout protection that was live:
+    ``"sigalrm"`` when the in-worker alarm armed, ``"none"`` when it
+    could not (no budget, non-POSIX, non-main thread — the pool driver's
+    wall-clock deadline is then the only backstop).
+    """
     start = time.perf_counter()
+    guard = "sigalrm" if _alarm_usable(timeout_s) else "none"
     try:
+        # Chaos site: an injected crash here becomes a clean status=error
+        # record; an injected *hang* outlives the alarm (it fires before
+        # the guard arms), exercising the driver's wall-clock backstop.
+        faults.inject("runner.trial", algorithm=spec.algorithm, seed=int(spec.seed))
         with _alarm(timeout_s):
             payload, timings = _measure(spec)
         return TrialResult(
             spec=spec, status="ok", payload=payload,
             elapsed_s=time.perf_counter() - start,
             timings=timings,
+            guard=guard,
         )
     except TrialTimeout as exc:
         return TrialResult(
             spec=spec, status="timeout", error=str(exc),
             elapsed_s=time.perf_counter() - start,
+            guard=guard,
         )
     except Exception:
         return TrialResult(
             spec=spec, status="error",
             error=traceback.format_exc(limit=8),
             elapsed_s=time.perf_counter() - start,
+            guard=guard,
         )
 
 

@@ -16,6 +16,7 @@ Design invariants (the acceptance bar of the runner subsystem):
 from __future__ import annotations
 
 import os
+import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -148,19 +149,37 @@ class ParallelRunner:
 
         A bounded submission window (4 per worker) keeps memory flat on
         large matrices instead of materialising every future at once.
+
+        When ``timeout_s`` is set, the driver also enforces a wall-clock
+        deadline of ``timeout_s·1.5 + 1`` per submitted trial.  The
+        worker-side SIGALRM guard is the primary mechanism, but it is a
+        *cooperative* one — a trial wedged in a C extension, or running
+        where :func:`~repro.runner.execute._alarm_usable` is false, never
+        raises — so trials past the grace are abandoned and reported as
+        ``status="timeout"`` with ``guard="wallclock"``.  The abandoned
+        future keeps its pool slot until the worker returns (documented
+        backstop, not a kill): throughput can degrade, results cannot
+        hang forever.
         """
         window = self.workers * 4
+        grace = (
+            None if self.timeout_s is None else float(self.timeout_s) * 1.5 + 1.0
+        )
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             queue = deque(specs)
-            futures = {}
+            futures: dict = {}  # future -> (spec, submit_time)
             while queue or futures:
                 while queue and len(futures) < window:
                     spec = queue.popleft()
                     fut = pool.submit(_pool_entry, spec.as_dict(), self.timeout_s)
-                    futures[fut] = spec
-                finished, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    futures[fut] = (spec, time.monotonic())
+                finished, _ = wait(
+                    futures,
+                    timeout=None if grace is None else 0.25,
+                    return_when=FIRST_COMPLETED,
+                )
                 for fut in finished:
-                    spec = futures.pop(fut)
+                    spec, _submitted = futures.pop(fut)
                     try:
                         yield TrialResult.from_record(fut.result())
                     except Exception as exc:  # worker died (OOM, signal, ...)
@@ -168,3 +187,25 @@ class ParallelRunner:
                             spec=spec, status="error",
                             error=f"worker failed: {exc!r}",
                         )
+                if grace is None:
+                    continue
+                now = time.monotonic()
+                overdue = [
+                    fut
+                    for fut, (_spec, submitted) in futures.items()
+                    if now - submitted > grace
+                ]
+                for fut in overdue:
+                    spec, submitted = futures.pop(fut)
+                    fut.cancel()  # only helps if still queued
+                    yield TrialResult(
+                        spec=spec,
+                        status="timeout",
+                        guard="wallclock",
+                        error=(
+                            f"no result within {grace:.1f}s "
+                            f"(timeout_s={self.timeout_s}); trial abandoned "
+                            "by the pool driver"
+                        ),
+                        elapsed_s=now - submitted,
+                    )

@@ -178,6 +178,13 @@ class TrialResult:
     (``edgelist:PATH``) whose file changed since *miss* the store —
     recomputing the key on load would silently re-index stale results
     under the new contents' hash."""
+    guard: str = "none"
+    """Which timeout guard covered this trial: ``"sigalrm"`` (worker-side
+    alarm was armed), ``"wallclock"`` (the pool driver's deadline fired —
+    the worker never reported), or ``"none"`` (no timeout requested, or
+    no usable guard — e.g. SIGALRM off the main thread / off POSIX).
+    Surfacing this closes a silent hole: a ``timeout_s`` that quietly
+    guarded nothing looked identical to one that did."""
 
     @property
     def key(self) -> str:
@@ -198,6 +205,7 @@ class TrialResult:
             "elapsed_s": round(float(self.elapsed_s), 6),
             "error": self.error,
             "timings": {k: round(float(v), 6) for k, v in self.timings.items()},
+            "guard": self.guard,
         }
 
     @classmethod
@@ -212,6 +220,7 @@ class TrialResult:
                 str(k): float(v) for k, v in dict(rec.get("timings") or {}).items()
             },
             stored_key=rec.get("key"),
+            guard=str(rec.get("guard", "none")),
         )
 
 

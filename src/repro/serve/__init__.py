@@ -19,7 +19,7 @@ Layers (one module each):
 * :mod:`repro.serve.client` — the blocking reference client.
 """
 
-from repro.serve.client import ServeClient, connect
+from repro.serve.client import RetriesExhausted, ServeClient, connect
 from repro.serve.coalesce import coalesce_batches
 from repro.serve.protocol import (
     ERROR_CODES,
@@ -28,13 +28,19 @@ from repro.serve.protocol import (
     ProtocolError,
 )
 from repro.serve.server import ColoringServer
-from repro.serve.snapshot import load_snapshot, restore_engine, save_snapshot
+from repro.serve.snapshot import (
+    load_snapshot,
+    restore_engine,
+    save_snapshot,
+    sweep_stale_tmp,
+)
 
 __all__ = [
     "PROTOCOL_VERSION",
     "MESSAGE_TYPES",
     "ERROR_CODES",
     "ProtocolError",
+    "RetriesExhausted",
     "ColoringServer",
     "ServeClient",
     "connect",
@@ -42,4 +48,5 @@ __all__ = [
     "save_snapshot",
     "load_snapshot",
     "restore_engine",
+    "sweep_stale_tmp",
 ]

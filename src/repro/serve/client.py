@@ -11,10 +11,19 @@ Error frames surface as :class:`~repro.serve.protocol.ProtocolError`
 (``exc.code``/``exc.retry_after`` carry the wire fields), except inside
 :meth:`update_batch`'s retry loop, which honors the ``queue-full`` →
 ``retry_after`` backpressure contract for you.
+
+Both retry loops — connect (racing a booting daemon) and ``queue-full``
+resubmission — wait with **capped exponential backoff plus deterministic
+jitter** (:func:`_backoff_delay`): waits grow geometrically so a dead or
+saturated server is not hammered, and the jitter (a pure hash of the
+attempt number and a caller key) decorrelates clients without making
+tests flaky.  Exhaustion raises the typed :class:`RetriesExhausted`
+carrying how many attempts were made and how long was spent waiting.
 """
 
 from __future__ import annotations
 
+import hashlib
 import socket
 import time
 from types import TracebackType
@@ -22,7 +31,35 @@ from types import TracebackType
 from repro.dynamic.events import UpdateBatch
 from repro.serve import protocol as wire
 
-__all__ = ["ServeClient", "connect"]
+__all__ = ["ServeClient", "RetriesExhausted", "connect"]
+
+
+class RetriesExhausted(wire.ProtocolError):
+    """A client retry loop gave up: every attempt failed (connect) or was
+    rejected (``queue-full``).  Subclasses :class:`ProtocolError` so
+    existing ``except ProtocolError`` handlers keep working; adds the
+    retry ledger — ``attempts`` made and ``total_wait`` seconds slept."""
+
+    def __init__(
+        self, code: str, message: str, *, attempts: int, total_wait: float
+    ) -> None:
+        super().__init__(code, message)
+        self.attempts = attempts
+        self.total_wait = total_wait
+
+
+def _backoff_delay(
+    base: float, cap: float, attempt: int, *key: object
+) -> float:
+    """The wait before retry number ``attempt`` (0-based):
+    ``min(cap, base·2^attempt) · u`` with jitter ``u ∈ [0.5, 1.0)``
+    derived by hashing ``(attempt, *key)`` — deterministic for a given
+    caller (reproducible tests) yet decorrelated across callers that
+    pass distinct keys."""
+    material = "\x1f".join(str(k) for k in (attempt, *key)).encode()
+    digest = hashlib.blake2b(material, digest_size=8).digest()
+    u = 0.5 + (int.from_bytes(digest, "big") % 4096) / 8192.0
+    return min(float(cap), float(base) * (2.0 ** attempt)) * u
 
 
 class ServeClient:
@@ -37,6 +74,9 @@ class ServeClient:
     retries / retry_delay:
         Connection attempts while the daemon boots (the CLI and the
         demo spawn the server as a subprocess and race its bind).
+        ``retry_delay`` is the backoff *base*: waits double per attempt
+        up to a 1-second cap, with deterministic jitter
+        (:func:`_backoff_delay`).
 
     Use as a context manager; :meth:`hello` (version negotiation) runs
     automatically on entry::
@@ -59,7 +99,10 @@ class ServeClient:
         if (socket_path is None) == (port is None):
             raise ValueError("exactly one of socket_path / port is required")
         last: Exception | None = None
-        for _ in range(max(1, retries)):
+        attempts = max(1, retries)
+        total_wait = 0.0
+        endpoint = socket_path if socket_path is not None else f"{host}:{port}"
+        for attempt in range(attempts):
             try:
                 if socket_path is not None:
                     self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -70,9 +113,15 @@ class ServeClient:
                 break
             except OSError as exc:
                 last = exc
-                time.sleep(retry_delay)
+                if attempt + 1 < attempts:
+                    delay = _backoff_delay(retry_delay, 1.0, attempt, "connect", endpoint)
+                    total_wait += delay
+                    time.sleep(delay)
         else:
-            raise ConnectionError(f"cannot reach server: {last}") from last
+            raise ConnectionError(
+                f"cannot reach server after {attempts} attempt(s) "
+                f"({total_wait:.2f}s waiting): {last}"
+            ) from last
         self.fp = self.sock.makefile("rwb")
         self.reports: list[wire.BatchReportFrame] = []
         """Pushed ``batch_report`` frames, in arrival order."""
@@ -156,28 +205,54 @@ class ServeClient:
         return request_id
 
     def update_batch(
-        self, batch: UpdateBatch, *, wait: bool = True, max_retries: int = 100
+        self,
+        batch: UpdateBatch,
+        *,
+        wait: bool = True,
+        max_retries: int = 100,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
     ) -> wire.BatchReportFrame | int:
         """Submit one batch, honoring backpressure.
 
         With ``wait=True`` (default) blocks until the ``batch_report``
         covering this request arrives and returns it; on ``queue-full``
-        sleeps the server-suggested ``retry_after`` and resubmits, up to
-        ``max_retries`` times.  With ``wait=False`` behaves like
-        :meth:`submit_batch` (no retry, returns the id).
+        waits and resubmits, up to ``max_retries`` times.  Each wait is
+        the larger of the server-suggested ``retry_after`` and the
+        capped exponential backoff (:func:`_backoff_delay`), so repeated
+        rejections slow the client down geometrically instead of
+        retrying on a fixed cadence against a saturated server.
+        Exhaustion raises :class:`RetriesExhausted` (code
+        ``queue-full``) with the attempt count and total wait.  With
+        ``wait=False`` behaves like :meth:`submit_batch` (no retry,
+        returns the id).
         """
         if not wait:
             return self.submit_batch(batch)
-        for _ in range(max(1, max_retries)):
+        attempts = max(1, max_retries)
+        total_wait = 0.0
+        for attempt in range(attempts):
             request_id = self.submit_batch(batch)
             try:
                 return self._wait_report(request_id)
             except wire.ProtocolError as exc:
                 if exc.code != "queue-full":
                     raise
-                time.sleep(exc.retry_after or 0.05)
-        raise wire.ProtocolError(
-            "queue-full", f"batch still rejected after {max_retries} retries"
+                if attempt + 1 < attempts:
+                    delay = max(
+                        float(exc.retry_after or 0.0),
+                        _backoff_delay(
+                            backoff_base, backoff_cap, attempt, "queue-full", request_id
+                        ),
+                    )
+                    total_wait += delay
+                    time.sleep(delay)
+        raise RetriesExhausted(
+            "queue-full",
+            f"batch still rejected after {attempts} attempt(s) "
+            f"({total_wait:.2f}s waiting)",
+            attempts=attempts,
+            total_wait=total_wait,
         )
 
     def _wait_report(self, request_id: int) -> wire.BatchReportFrame:
@@ -227,6 +302,13 @@ class ServeClient:
         """Read one node's color and free palette."""
         reply = self._rpc(wire.QueryPalette(id=self._fresh_id(), node=int(node)))
         assert isinstance(reply, wire.PaletteReply)
+        return reply
+
+    def ping(self) -> wire.Pong:
+        """Liveness probe: round-trips a ``ping`` through the server's
+        event loop (also refreshes the server's idle-timeout window)."""
+        reply = self._rpc(wire.Ping(id=self._fresh_id()))
+        assert isinstance(reply, wire.Pong)
         return reply
 
     def stats(self) -> dict:

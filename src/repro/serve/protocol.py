@@ -53,8 +53,10 @@ __all__ = [
     "QueryPalette",
     "StatsRequest",
     "SnapshotRequest",
+    "Ping",
     "Shutdown",
     "Welcome",
+    "Pong",
     "GraphLoaded",
     "BatchReportFrame",
     "ColorsReply",
@@ -372,6 +374,16 @@ class SnapshotRequest(Frame):
 
 
 @dataclass(frozen=True)
+class Ping(Frame):
+    """Liveness probe / idle-timeout heartbeat.  Costs the server nothing
+    (answered inline by :class:`Pong`, never queued) and counts as
+    session activity: a client that pings inside the server's
+    ``--idle-timeout`` window keeps an otherwise quiet connection open."""
+
+    TYPE: ClassVar[str] = "ping"
+
+
+@dataclass(frozen=True)
 class Shutdown(Frame):
     """Stop the service: the server stops accepting work, drains the
     ingest queue, writes a final snapshot when configured, answers
@@ -536,6 +548,14 @@ class SnapshotSaved(Frame):
 
 
 @dataclass(frozen=True)
+class Pong(Frame):
+    """Answer to :class:`Ping`, echoing its ``id`` — receipt proves the
+    server's event loop is alive (not just the TCP/unix socket)."""
+
+    TYPE: ClassVar[str] = "pong"
+
+
+@dataclass(frozen=True)
 class Goodbye(Frame):
     """Answer to :class:`Shutdown` — the last frame the server sends."""
 
@@ -592,10 +612,11 @@ REQUEST_TYPES: dict[str, type[Frame]] = {
         QueryPalette,
         StatsRequest,
         SnapshotRequest,
+        Ping,
         Shutdown,
     )
 }
-"""Frames a client may send (the eight verbs of the service)."""
+"""Frames a client may send (the nine verbs of the service)."""
 
 RESPONSE_TYPES: dict[str, type[Frame]] = {
     cls.TYPE: cls
@@ -607,6 +628,7 @@ RESPONSE_TYPES: dict[str, type[Frame]] = {
         PaletteReply,
         StatsReply,
         SnapshotSaved,
+        Pong,
         Goodbye,
         ErrorFrame,
     )

@@ -49,9 +49,10 @@ import numpy as np
 from repro import __version__
 from repro.config import ColoringConfig
 from repro.dynamic.engine import DynamicColoring
+from repro.faults import plan as faults
 from repro.serve import protocol as wire
 from repro.serve.coalesce import coalesce_batches
-from repro.serve.snapshot import restore_engine, save_snapshot
+from repro.serve.snapshot import restore_engine, save_snapshot, sweep_stale_tmp
 from repro.shard.engine import ShardedColoring
 
 __all__ = ["ColoringServer"]
@@ -115,7 +116,14 @@ class ColoringServer:
         the request doesn't name a path.
     restore:
         Snapshot to warm-start from: the engine (graph + colors + batch
-        index + config) is rebuilt before the first connection.
+        index + config) is rebuilt before the first connection.  A torn
+        current snapshot falls back to rotated generations
+        (:func:`~repro.serve.snapshot.restore_engine`).
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` armed at ``start()`` —
+        the chaos harness's hook into the daemon's injection sites
+        (``serve.snapshot.write``, ``serve.connection``).  ``None`` (the
+        default) leaves every site a no-op.
     """
 
     def __init__(
@@ -127,6 +135,7 @@ class ColoringServer:
         port: int | None = None,
         snapshot_path: str | None = None,
         restore: str | None = None,
+        fault_plan: "faults.FaultPlan | None" = None,
     ) -> None:
         if (socket_path is None) == (port is None):
             raise ValueError("exactly one of socket_path / port is required")
@@ -135,6 +144,7 @@ class ColoringServer:
         self.host = host
         self.port = port
         self.snapshot_path = snapshot_path
+        self.fault_plan = fault_plan
 
         self.engine: DynamicColoring | None = None
         self.initial_mode = "pipeline"
@@ -154,6 +164,8 @@ class ColoringServer:
         self.fallbacks = 0
         self.snapshots_written = 0
         self.last_snapshot_index = -1
+        self.snapshot_failures = 0
+        self.idle_disconnects = 0
 
         if restore is not None:
             self.engine = restore_engine(restore)
@@ -166,6 +178,8 @@ class ColoringServer:
                         "serve_coalesce_max",
                         "serve_snapshot_every",
                         "serve_retry_after_s",
+                        "serve_snapshot_keep",
+                        "serve_idle_timeout_s",
                     )
                 },
             )
@@ -177,6 +191,17 @@ class ColoringServer:
     async def start(self) -> None:
         """Bind the endpoint and start the ingest worker."""
         self._stop_event = asyncio.Event()
+        if self.fault_plan is not None:
+            faults.arm(self.fault_plan)
+        if self.snapshot_path:
+            swept = sweep_stale_tmp(self.snapshot_path)
+            if swept:
+                print(
+                    f"{_SERVER_NAME} swept {len(swept)} stale snapshot "
+                    f"tmp file(s): {', '.join(swept)}",
+                    file=sys.stderr,
+                    flush=True,
+                )
         if self.socket_path is not None:
             path = Path(self.socket_path)
             if path.exists():
@@ -283,11 +308,26 @@ class ColoringServer:
             await session.send(frame)
         every = int(self.cfg.serve_snapshot_every)
         if every > 0 and self.snapshot_path and self.batches_applied % every == 0:
-            self._write_snapshot(self.snapshot_path)
+            # A failed *periodic* snapshot (disk trouble, injected torn
+            # write) must not take the service down: the engine state is
+            # intact, only recovery freshness suffers.  Note it and keep
+            # serving; clean shutdown and explicit `snapshot` requests
+            # still surface their own failures.
+            try:
+                self._write_snapshot(self.snapshot_path)
+            except (faults.FaultInjected, OSError, ValueError) as exc:
+                self.snapshot_failures += 1
+                print(
+                    f"{_SERVER_NAME} periodic snapshot failed: {exc!r}",
+                    file=sys.stderr,
+                    flush=True,
+                )
 
     def _write_snapshot(self, path: str) -> None:
         assert self.engine is not None
-        info = save_snapshot(self.engine, path)
+        info = save_snapshot(
+            self.engine, path, keep=max(1, int(self.cfg.serve_snapshot_keep))
+        )
         self.snapshots_written += 1
         self.last_snapshot_index = info.batch_index
 
@@ -299,10 +339,18 @@ class ColoringServer:
     ) -> None:
         session = _Session(reader, writer)
         self._sessions.add(session)
+        idle = float(self.cfg.serve_idle_timeout_s)
         try:
             while True:
                 try:
-                    frame = await wire.read_frame_async(reader)
+                    frame = await asyncio.wait_for(
+                        wire.read_frame_async(reader), timeout=idle or None
+                    )
+                except asyncio.TimeoutError:
+                    # Quiet client past the idle window: reclaim the
+                    # session (pings count as activity — see `ping`).
+                    self.idle_disconnects += 1
+                    break
                 except wire.ProtocolError as exc:
                     await session.send(
                         wire.ErrorFrame(id=exc.id, code=exc.code, message=exc.message)
@@ -311,6 +359,12 @@ class ColoringServer:
                         break  # framing lost; cannot resynchronize
                     continue
                 if frame is None:
+                    break
+                try:
+                    # Chaos site: an armed `serve.connection` fault drops
+                    # the session right here (mid-conversation hangup).
+                    faults.inject("serve.connection", frame_type=frame.TYPE)
+                except faults.FaultInjected:
                     break
                 try:
                     done = await self._dispatch(session, frame)
@@ -375,6 +429,9 @@ class ColoringServer:
             return False
         if isinstance(frame, wire.QueryPalette):
             await session.send(self._handle_query_palette(frame))
+            return False
+        if isinstance(frame, wire.Ping):
+            await session.send(wire.Pong(id=frame.id))
             return False
         if isinstance(frame, wire.StatsRequest):
             await session.send(wire.StatsReply(id=frame.id, stats=self.stats()))
@@ -536,8 +593,10 @@ class ColoringServer:
                 id=frame.id,
             )
         try:
-            info = save_snapshot(engine, path)
-        except OSError as exc:
+            info = save_snapshot(
+                engine, path, keep=max(1, int(self.cfg.serve_snapshot_keep))
+            )
+        except (OSError, faults.FaultInjected) as exc:
             raise wire.ProtocolError(
                 "snapshot-failed", f"cannot write {path}: {exc}", id=frame.id
             ) from exc
@@ -563,12 +622,17 @@ class ColoringServer:
             "queue_max": self._queue.maxsize,
             "coalesce_max": int(self.cfg.serve_coalesce_max),
             "snapshot_every": int(self.cfg.serve_snapshot_every),
+            "snapshot_keep": int(self.cfg.serve_snapshot_keep),
+            "idle_timeout_s": float(self.cfg.serve_idle_timeout_s),
             "batches_applied": self.batches_applied,
             "coalesced_batches": self.coalesced_batches,
             "rejected_batches": self.rejected_batches,
             "fallbacks": self.fallbacks,
             "snapshots_written": self.snapshots_written,
             "last_snapshot_index": self.last_snapshot_index,
+            "snapshot_failures": self.snapshot_failures,
+            "idle_disconnects": self.idle_disconnects,
+            "fault_plan": None if self.fault_plan is None else self.fault_plan.name,
         }
         engine = self.engine
         if engine is not None:

@@ -19,13 +19,26 @@ arrays plus a JSON metadata blob; written atomically (temp file +
 ``os.replace``) so a crash mid-write never leaves a torn snapshot, only
 the previous one.  ``SNAPSHOT_FORMAT`` gates forward compatibility:
 readers reject snapshots from a newer writer.
+
+Robustness (DESIGN.md §9): ``save_snapshot`` keeps ``keep`` rotated
+generations (``path``, ``path.1``, ``path.2``, …) so that even a torn
+*current* snapshot — e.g. a crash between ``os.replace`` calls on a
+filesystem without atomic rename, or byte corruption at rest — leaves a
+restorable previous generation; :func:`restore_engine` walks the
+generations oldest-last and :func:`load_snapshot` converts every
+corruption mode into ``ValueError`` so the fallback logic has a single
+failure type to catch.  :func:`sweep_stale_tmp` removes ``*.tmp``
+leftovers of writes that died before their ``os.replace``.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import io
 import json
 import os
+import sys
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -33,9 +46,10 @@ import numpy as np
 
 from repro.config import ColoringConfig
 from repro.dynamic.engine import DynamicColoring
+from repro.faults import plan as faults
 
 __all__ = ["SNAPSHOT_FORMAT", "SnapshotInfo", "save_snapshot", "load_snapshot",
-           "restore_engine"]
+           "restore_engine", "snapshot_generations", "sweep_stale_tmp"]
 
 SNAPSHOT_FORMAT = 1
 """Version stamp inside every snapshot; bumped on incompatible layout
@@ -66,12 +80,74 @@ class SnapshotInfo:
         return out
 
 
-def save_snapshot(engine: DynamicColoring, path: str | os.PathLike) -> SnapshotInfo:
+def _generation_path(path: Path, gen: int) -> Path:
+    """Generation ``0`` is ``path`` itself; older ones append ``.1``,
+    ``.2``, … (newest-first numbering, logrotate style)."""
+    return path if gen == 0 else path.with_name(f"{path.name}.{gen}")
+
+
+def snapshot_generations(path: str | os.PathLike, limit: int = 64) -> list[Path]:
+    """The existing snapshot generations for ``path``, newest first
+    (``path``, then ``path.1``, …).  Stops at the first gap — rotation
+    never creates one — or at ``limit`` as a runaway guard."""
+    path = Path(path)
+    out: list[Path] = []
+    for gen in range(limit):
+        p = _generation_path(path, gen)
+        if not p.exists():
+            if gen > 0:
+                break
+            continue
+        out.append(p)
+    return out
+
+
+def _rotate(path: Path, keep: int) -> None:
+    """Shift generations down one slot before a new ``path`` lands:
+    ``path.{keep-2}`` → ``path.{keep-1}``, …, ``path`` → ``path.1``.
+    With ``keep <= 1`` there is nothing to preserve."""
+    if keep <= 1 or not path.exists():
+        return
+    for gen in range(keep - 1, 0, -1):
+        src = _generation_path(path, gen - 1)
+        if src.exists():
+            os.replace(src, _generation_path(path, gen))
+
+
+def sweep_stale_tmp(path: str | os.PathLike) -> list[str]:
+    """Remove leftover ``<path>*.tmp`` files from writes that died before
+    their ``os.replace`` (startup hygiene for the daemon).  A stale tmp
+    is harmless to correctness — restore never reads it — but it pins
+    disk and confuses operators; returns the paths removed."""
+    path = Path(path)
+    removed: list[str] = []
+    parent = path.parent if str(path.parent) else Path(".")
+    for p in sorted(parent.glob(path.name + "*.tmp")):
+        try:
+            p.unlink()
+            removed.append(str(p))
+        except OSError:  # pragma: no cover - racing unlink
+            pass
+    return removed
+
+
+def save_snapshot(
+    engine: DynamicColoring, path: str | os.PathLike, keep: int = 1
+) -> SnapshotInfo:
     """Persist ``engine``'s resumable state to ``path``, atomically.
 
     The write goes to ``<path>.tmp`` in the same directory and is
     ``os.replace``d into place, so concurrent readers (and a crash at
     any byte) see either the old snapshot or the new one, never a mix.
+    ``keep > 1`` rotates previous snapshots to ``path.1`` … before the
+    replace, so torn or corrupted *current* files still leave a
+    restorable generation (:func:`restore_engine`).
+
+    This function is also the ``serve.snapshot.write`` fault-injection
+    site: an armed torn-write fault truncates the payload mid-write —
+    ``hard`` faults then kill the process (SIGKILL-mid-write: a stale
+    ``.tmp`` remains, ``path`` is untouched), soft ones promote the torn
+    bytes to ``path`` and raise, exercising the generation fallback.
     """
     path = Path(path)
     edges = engine.net.undirected_edges()
@@ -82,15 +158,41 @@ def save_snapshot(engine: DynamicColoring, path: str | os.PathLike) -> SnapshotI
         "batch_index": int(engine.batch_index),
         "config": dataclasses.asdict(engine.cfg),
     }
+    buf = io.BytesIO()
+    np.savez_compressed(
+        buf,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        edges=edges,
+        colors=engine.colors,
+        active=engine.active,
+    )
+    payload = buf.getvalue()
+    fault = faults.inject(
+        "serve.snapshot.write", batch_index=int(engine.batch_index)
+    )
     tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as f:
-        np.savez_compressed(
-            f,
-            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
-            edges=edges,
-            colors=engine.colors,
-            active=engine.active,
+    if fault is not None and fault.kind == "torn-write":
+        torn = payload[: max(1, len(payload) // 3)]
+        with open(tmp, "wb") as f:
+            f.write(torn)
+            f.flush()
+            os.fsync(f.fileno())
+        if fault.hard:
+            # Simulated SIGKILL mid-write: the stale .tmp stays behind,
+            # the previous snapshot at ``path`` is never touched.
+            os._exit(faults._EXIT_CODE)
+        # Soft torn write: the corrupt bytes *do* land at ``path`` (a
+        # non-atomic-rename filesystem), so recovery must fall back to
+        # the rotated previous generation.
+        _rotate(path, keep)
+        os.replace(tmp, path)
+        raise faults.FaultInjected(
+            "serve.snapshot.write", "torn-write",
+            f"snapshot at {path} truncated to {len(torn)}/{len(payload)} bytes",
         )
+    with open(tmp, "wb") as f:
+        f.write(payload)
+    _rotate(path, keep)
     os.replace(tmp, path)
     return SnapshotInfo(
         path=str(path),
@@ -110,16 +212,30 @@ def load_snapshot(path: str | os.PathLike) -> tuple[SnapshotInfo, dict]:
     ``colors`` and ``active``.  Raises ``ValueError`` for a snapshot
     written by a newer format or with unknown config fields (a snapshot
     is a contract, not a suggestion — silently dropping knobs would
-    break the restore ≡ never-crashed guarantee).
+    break the restore ≡ never-crashed guarantee).  Every *corruption*
+    mode — truncated zip, missing member, garbled JSON — is likewise
+    normalized to ``ValueError`` so :func:`restore_engine` has a single
+    failure type to fall back on; only a genuinely missing file keeps
+    raising ``FileNotFoundError``.
     """
     path = Path(path)
-    with np.load(path) as data:
-        meta = json.loads(bytes(data["meta"]).decode())
-        arrays = {
-            "edges": data["edges"].astype(np.int64, copy=True),
-            "colors": data["colors"].astype(np.int64, copy=True),
-            "active": data["active"].astype(bool, copy=True),
-        }
+    try:
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta"]).decode())
+            arrays = {
+                "edges": data["edges"].astype(np.int64, copy=True),
+                "colors": data["colors"].astype(np.int64, copy=True),
+                "active": data["active"].astype(bool, copy=True),
+            }
+        if not isinstance(meta, dict):
+            raise ValueError("snapshot meta is not a JSON object")
+    except FileNotFoundError:
+        raise
+    except ValueError:
+        raise ValueError(f"snapshot {path} is corrupt or unreadable") from None
+    except (zipfile.BadZipFile, KeyError, EOFError, UnicodeDecodeError,
+            json.JSONDecodeError, OSError) as exc:
+        raise ValueError(f"snapshot {path} is corrupt or unreadable: {exc!r}") from exc
     fmt = int(meta.get("format", 0))
     if fmt > SNAPSHOT_FORMAT:
         raise ValueError(
@@ -144,19 +260,45 @@ def load_snapshot(path: str | os.PathLike) -> tuple[SnapshotInfo, dict]:
     return info, arrays
 
 
-def restore_engine(path: str | os.PathLike) -> DynamicColoring:
+def restore_engine(
+    path: str | os.PathLike, fallback: bool = True
+) -> DynamicColoring:
     """Rebuild the serving engine from a snapshot — the warm-restart /
     crash-recovery entry point (``repro serve --restore``).
 
     The returned engine's next :meth:`~DynamicColoring.apply_batch`
     behaves exactly as the snapshotted engine's would have: same
     topology, same colors, same batch index, same derived seed streams.
+
+    With ``fallback=True`` a torn or corrupt current snapshot falls back
+    to the rotated previous generations (``path.1``, ``path.2``, … — see
+    :func:`save_snapshot`'s ``keep``), newest first; restoring an older
+    generation simply resumes from an earlier ``batch_index``, and
+    replaying the missing batches reproduces the exact same colors.  If
+    every generation is unreadable the *first* error is re-raised.
     """
-    info, arrays = load_snapshot(path)
-    return DynamicColoring(
-        (info.n, arrays["edges"]),
-        info.config,
-        initial_colors=arrays["colors"],
-        active=arrays["active"],
-        batch_index=info.batch_index,
-    )
+    candidates = snapshot_generations(path) if fallback else [Path(path)]
+    if not candidates:
+        candidates = [Path(path)]  # let load_snapshot raise FileNotFoundError
+    first_exc: Exception | None = None
+    for i, candidate in enumerate(candidates):
+        try:
+            info, arrays = load_snapshot(candidate)
+            if i > 0:
+                print(
+                    f"[serve] snapshot {path} unreadable; restored previous "
+                    f"generation {candidate} (batch_index={info.batch_index})",
+                    file=sys.stderr,
+                )
+            return DynamicColoring(
+                (info.n, arrays["edges"]),
+                info.config,
+                initial_colors=arrays["colors"],
+                active=arrays["active"],
+                batch_index=info.batch_index,
+            )
+        except (ValueError, OSError) as exc:
+            if first_exc is None:
+                first_exc = exc
+    assert first_exc is not None
+    raise first_exc

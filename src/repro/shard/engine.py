@@ -35,6 +35,8 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -46,13 +48,29 @@ from repro.dynamic.engine import (
     conflict_victims,
     monochromatic_edges,
 )
+from repro.faults import plan as faults
 from repro.shard.partition import Partition, partition_nodes
 from repro.simulator.metrics import RoundMetrics
 from repro.simulator.network import BroadcastNetwork, ShardView
 from repro.simulator.rng import SeedSequencer
 from repro.util.bitio import bits_for_color
 
-__all__ = ["ShardedColoring", "ShardReport", "ShardedResult"]
+__all__ = ["ShardedColoring", "ShardReport", "ShardedResult", "ShardWorkerError"]
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard's interior coloring failed on every allowed attempt and
+    graceful degradation is disabled (``shard_inline_fallback=False``):
+    the supervisor re-raises instead of silently absorbing the loss.
+    Carries the failing shard id and the last underlying failure."""
+
+    def __init__(self, shard: int, attempts: int, cause: str) -> None:
+        super().__init__(
+            f"shard {shard} failed after {attempts} attempt(s): {cause}"
+        )
+        self.shard = shard
+        self.attempts = attempts
+        self.cause = cause
 
 
 @dataclass
@@ -119,6 +137,10 @@ class ShardedResult:
     seconds: float
     shard_reports: list[ShardReport] = field(default_factory=list)
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    faults: dict = field(default_factory=dict)
+    """Supervision account (DESIGN.md §9): retries, worker_crashes,
+    worker_timeouts, inline_fallbacks and time_lost_s — all zero on a
+    fault-free run."""
 
     @property
     def touched_fraction(self) -> float:
@@ -151,19 +173,22 @@ class ShardedResult:
             "rounds_total": self.rounds_total,
             "total_bits": self.total_bits,
             "seconds": round(self.seconds, 6),
+            "faults": dict(self.faults),
             "shards": [r.as_dict() for r in self.shard_reports],
         }
 
 
-def _color_shard(view: ShardView, cfg: ColoringConfig) -> dict:
+def _color_shard(view: ShardView, cfg: ColoringConfig, attempt: int = 1) -> dict:
     """Worker-side pure function: color one shard's interior subgraph.
 
     Module-level (picklable) so ``ProcessPoolExecutor`` workers can run it;
-    the result is a pure function of ``(view, cfg)``, which is what makes
-    pool and inline execution byte-identical.  The view's ghost frontier is
-    read-only metadata here — interior coloring happens strictly on the
-    interior-induced CSR.
+    the result is a pure function of ``(view, cfg)`` — ``attempt`` only
+    feeds the fault-injection context, never the coloring — which is what
+    makes pool, inline and *retried* execution byte-identical.  The view's
+    ghost frontier is read-only metadata here — interior coloring happens
+    strictly on the interior-induced CSR.
     """
+    faults.inject("shard.worker", shard=int(view.shard), attempt=int(attempt))
     t0 = time.perf_counter()
     if view.n_interior == 0:
         return {
@@ -204,9 +229,19 @@ def _color_shard(view: ShardView, cfg: ColoringConfig) -> dict:
     }
 
 
-def _pool_color_shard(args: tuple[ShardView, ColoringConfig]) -> dict:
-    """``ProcessPoolExecutor.map`` entry point (single-argument)."""
-    return _color_shard(*args)
+def _pool_color_shard(args: tuple) -> dict:
+    """``ProcessPoolExecutor`` entry point (single-argument).
+
+    ``args`` is ``(view, cfg, attempt, plan_payload)``; the fault plan
+    rides along explicitly (as its dict form) and is armed inside the
+    worker, so injection works under any multiprocessing start method —
+    not just fork inheritance — and survives pool re-creation after a
+    hard crash.
+    """
+    view, cfg, attempt, plan_payload = args
+    if plan_payload is not None:
+        faults.arm(faults.FaultPlan.from_dict(plan_payload))
+    return _color_shard(view, cfg, attempt=attempt)
 
 
 class ShardedColoring:
@@ -291,14 +326,9 @@ class ShardedColoring:
                 else np.empty(0, dtype=np.int64)
             )
 
-        # ---- 2. interior coloring (parallel over shards) -------------
+        # ---- 2. interior coloring (parallel over shards, supervised) -
         with metrics.time_phase("shard/interior"):
-            tasks = [(views[i], self._shard_config(i)) for i in range(self.k)]
-            if self.workers > 1 and self.k > 1:
-                with ProcessPoolExecutor(max_workers=min(self.workers, self.k)) as pool:
-                    outs = list(pool.map(_pool_color_shard, tasks))
-            else:
-                outs = [_color_shard(v, c) for v, c in tasks]
+            outs, fault_account = self._run_interiors(views)
 
             # ---- 3. merge ------------------------------------------------
             colors = np.full(net.n, -1, dtype=np.int64)
@@ -392,4 +422,140 @@ class ShardedColoring:
                 for name, secs in metrics.phase_seconds.items()
                 if name.startswith("shard/")
             },
+            faults=fault_account,
         )
+
+    # ------------------------------------------------------------------
+    # Interior supervision (DESIGN.md §9)
+    # ------------------------------------------------------------------
+    def _backoff(self, shard: int, attempt: int) -> float:
+        """Capped exponential backoff with deterministic jitter: attempt
+        ``a`` of one shard waits ``base · 2^(a-1) · u`` seconds with
+        ``u ∈ [0.5, 1.0)`` derived from the run's seed sequencer — two
+        crashed shards never retry in lock-step, yet the schedule is a
+        pure function of ``(seed, shard, attempt)``."""
+        base = max(0.0, float(self.cfg.shard_retry_backoff_s))
+        if base == 0.0:
+            return 0.0
+        jitter = 0.5 + (self.seq.derive_seed("backoff", shard, attempt) % 1000) / 2000.0
+        return min(base * (2 ** (attempt - 1)), 30.0) * jitter
+
+    def _fail_or_fallback(
+        self, shard: int, view, cfg_i, attempts: int, cause: str, account: dict
+    ) -> dict:
+        """Retries exhausted: degrade to inline execution in the driver
+        (fault plan suppressed — the work must *succeed*, not re-die),
+        or raise :class:`ShardWorkerError` when degradation is off."""
+        if not self.cfg.shard_inline_fallback:
+            raise ShardWorkerError(shard, attempts, cause)
+        account["inline_fallbacks"] += 1
+        self.net.metrics.record_fault("inline_fallback")
+        with faults.suppressed():
+            return _color_shard(view, cfg_i, attempt=attempts + 1)
+
+    def _run_interiors(self, views: list) -> tuple[list, dict]:
+        """The supervisor loop around the interior phase: submit every
+        shard, detect crashes (``BrokenProcessPool``, injected faults),
+        enforce the per-shard wall-clock deadline, retry with backoff
+        (same derived seed → bit-identical recovery), and degrade to
+        inline execution for shards that keep failing.  Returns the
+        per-shard outputs in shard order plus the fault account."""
+        cfg = self.cfg
+        metrics = self.net.metrics
+        shard_cfgs = [self._shard_config(i) for i in range(self.k)]
+        account = {
+            "retries": 0,
+            "worker_crashes": 0,
+            "worker_timeouts": 0,
+            "inline_fallbacks": 0,
+            "time_lost_s": 0.0,
+        }
+        outs: list = [None] * self.k
+        max_attempts = 1 + max(0, int(cfg.shard_max_retries))
+
+        if not (self.workers > 1 and self.k > 1):
+            # Inline path: same supervision semantics, no pool, no
+            # deadline (the driver cannot interrupt itself).
+            for i in range(self.k):
+                attempt = 1
+                while outs[i] is None:
+                    t0 = time.perf_counter()
+                    try:
+                        outs[i] = _color_shard(views[i], shard_cfgs[i], attempt=attempt)
+                    except Exception as exc:
+                        lost = time.perf_counter() - t0
+                        account["worker_crashes"] += 1
+                        account["time_lost_s"] += lost
+                        metrics.record_fault("worker_crash", lost)
+                        if attempt >= max_attempts:
+                            outs[i] = self._fail_or_fallback(
+                                i, views[i], shard_cfgs[i], attempt, repr(exc), account
+                            )
+                            break
+                        account["retries"] += 1
+                        metrics.record_fault("retry")
+                        time.sleep(self._backoff(i, attempt))
+                        attempt += 1
+            account["time_lost_s"] = round(account["time_lost_s"], 6)
+            return outs, account
+
+        plan = faults.armed_plan()
+        plan_payload = plan.as_dict() if plan is not None else None
+        timeout = float(cfg.shard_worker_timeout_s) or None
+        pending = list(range(self.k))
+        attempt = {i: 1 for i in pending}
+        pool = ProcessPoolExecutor(max_workers=min(self.workers, self.k))
+        try:
+            while pending:
+                futs = {
+                    i: pool.submit(
+                        _pool_color_shard,
+                        (views[i], shard_cfgs[i], attempt[i], plan_payload),
+                    )
+                    for i in pending
+                }
+                failed: list[tuple[int, str, str]] = []
+                pool_broken = False
+                for i, fut in futs.items():
+                    t0 = time.perf_counter()
+                    try:
+                        outs[i] = fut.result(timeout=timeout)
+                    except FuturesTimeout:
+                        fut.cancel()
+                        failed.append((i, "worker_timeout", f"no result within {timeout}s"))
+                        metrics.record_fault("worker_timeout", time.perf_counter() - t0)
+                        account["worker_timeouts"] += 1
+                        account["time_lost_s"] += time.perf_counter() - t0
+                        pool_broken = True  # a hung worker poisons its slot
+                    except BrokenProcessPool as exc:
+                        failed.append((i, "worker_crash", repr(exc)))
+                        metrics.record_fault("worker_crash", time.perf_counter() - t0)
+                        account["worker_crashes"] += 1
+                        account["time_lost_s"] += time.perf_counter() - t0
+                        pool_broken = True
+                    except Exception as exc:  # soft crash inside the worker
+                        failed.append((i, "worker_crash", repr(exc)))
+                        metrics.record_fault("worker_crash", time.perf_counter() - t0)
+                        account["worker_crashes"] += 1
+                        account["time_lost_s"] += time.perf_counter() - t0
+                pending = []
+                if not failed:
+                    continue
+                if pool_broken:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=min(self.workers, self.k))
+                for i, _kind, cause in failed:
+                    if attempt[i] >= max_attempts:
+                        outs[i] = self._fail_or_fallback(
+                            i, views[i], shard_cfgs[i], attempt[i], cause, account
+                        )
+                        continue
+                    account["retries"] += 1
+                    metrics.record_fault("retry")
+                    time.sleep(self._backoff(i, attempt[i]))
+                    attempt[i] += 1
+                    pending.append(i)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        account["time_lost_s"] = round(account["time_lost_s"], 6)
+        return outs, account

@@ -49,6 +49,8 @@ class RoundMetrics:
     def __init__(self) -> None:
         self.phases: dict[str, PhaseStats] = defaultdict(PhaseStats)
         self.phase_seconds: dict[str, float] = defaultdict(float)
+        self.faults: dict[str, int] = defaultdict(int)
+        self.fault_seconds: float = 0.0
         self._current_phase = "unphased"
         self._phase_started: float | None = None
         self.observers: list = []
@@ -198,6 +200,17 @@ class RoundMetrics:
         """A round in which no node broadcast (still costs a round)."""
         self.add_uniform_round(0, 1, phase=phase)
 
+    def record_fault(self, kind: str, seconds: float = 0.0) -> None:
+        """Account one supervision event (DESIGN.md §9): ``kind`` names
+        what happened (``"retry"``, ``"worker_crash"``,
+        ``"worker_timeout"``, ``"inline_fallback"``, ...) and ``seconds``
+        is the wall-clock lost to it (waiting on a doomed worker,
+        backing off).  Faults never touch rounds/bits — recovery replays
+        the same protocol, so the *algorithmic* account is unchanged;
+        only real time is lost."""
+        self.faults[kind] += 1
+        self.fault_seconds += float(seconds)
+
     # -- reading ----------------------------------------------------------
     @property
     def total_rounds(self) -> int:
@@ -258,4 +271,7 @@ class RoundMetrics:
                 dst.max_message_bits = max(dst.max_message_bits, stats.max_message_bits)
             for name, secs in src.phase_seconds.items():
                 out.phase_seconds[name] += secs
+            for kind, count in src.faults.items():
+                out.faults[kind] += count
+            out.fault_seconds += src.fault_seconds
         return out

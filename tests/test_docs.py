@@ -78,7 +78,8 @@ class TestDocLinks:
 
 class TestApiDocstrings:
     @pytest.mark.parametrize("modname",
-                             ["repro.dynamic", "repro.shard", "repro.serve"])
+                             ["repro.dynamic", "repro.shard", "repro.serve",
+                              "repro.faults"])
     def test_public_surface_is_docstringed(self, modname):
         mod = importlib.import_module(modname)
         missing = []

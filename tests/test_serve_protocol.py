@@ -37,6 +37,8 @@ SAMPLE_FRAMES = [
     wire.SnapshotRequest(id=8, path="/tmp/x.npz"),
     wire.SnapshotRequest(id=9, path=None),
     wire.Shutdown(id=10),
+    wire.Ping(id=19),
+    wire.Pong(id=20),
     wire.Welcome(id=11, v=1, server="repro-serve/x", n=4),
     wire.GraphLoaded(id=12, n=4, m=2, delta=1, colors_used=2,
                      initial_rounds=7, seconds=0.25, initial="sharded"),
@@ -54,11 +56,11 @@ SAMPLE_FRAMES = [
 
 class TestRegistry:
     def test_every_request_has_a_type(self):
-        assert len(wire.REQUEST_TYPES) == 8
+        assert len(wire.REQUEST_TYPES) == 9
         assert all(cls.TYPE == key for key, cls in wire.REQUEST_TYPES.items())
 
     def test_every_response_has_a_type(self):
-        assert len(wire.RESPONSE_TYPES) == 9
+        assert len(wire.RESPONSE_TYPES) == 10
         assert all(cls.TYPE == key for key, cls in wire.RESPONSE_TYPES.items())
 
     def test_registries_are_disjoint_and_union(self):
