@@ -1,23 +1,41 @@
-"""E15 — multi-shard partitioned coloring: k workers + cut reconciliation
-vs the single-process pipeline.
+"""E15 — multi-shard partitioned coloring: breaking the 10⁷-node wall.
 
-The claim the `repro.shard` subsystem makes (DESIGN.md §7): on graphs
-with partitionable structure, coloring k shard interiors in parallel and
-repairing the cut afterwards touches only a few percent of nodes during
-reconciliation — the cut is the whole cost of sharding — while the merged
-coloring stays proper and within the global Δ+1 budget, and a k=1 run is
-bit-identical to the unsharded pipeline.
+The claim the `repro.shard` subsystem makes (DESIGN.md §7): with the
+zero-copy shared-memory transport, the vectorized partitioner and
+shard-local cut repair, k shard workers behave like k machines — the
+driver's serial overhead (partition + arena pack + delta merges) stays a
+small fraction of the run, per-worker memory scales with interior +
+ghost size rather than n, and reconciliation touches only the cut.
 
-Tracked measurements (→ ``BENCH_shard.json`` at the repo root):
+Tracked measurements (→ ``BENCH_shard.json`` at the repo root), one
+entry per graph size along the n-scaling axis:
 
-* single-shard (k=1 ≡ the unsharded engine) vs k-shard wall-clock on the
-  identical graph, pool workers = k;
-* cut fraction, initial cut conflicts, nodes touched during
-  reconciliation (the < 5% acceptance bar), and cut-repair rounds;
-* partition wall-clock per strategy (greedy is the Python-loop part).
+* **critical-path speedup** — ``single_s / (driver phases + max shard
+  CPU seconds)``.  The bench host typically has fewer cores than k, so
+  k workers time-share and per-shard *wall* time mostly measures the
+  scheduler; per-shard **CPU** time is what one dedicated machine would
+  pay, which is exactly the k-machine deployment the shard engine
+  models.  The raw wall-clock speedup and ``host_cores`` ride along so
+  the entry is honest about what the box could show.
+* partition / pack / reconcile phase seconds (partition must stay ≤10%
+  of the sharded wall — the vectorized-partitioner regression gate);
+* per-worker peak RSS under ``shard_start_method="spawn"`` (fresh
+  interpreters: RSS reflects the shm pages a worker actually touches,
+  not fork's copy-on-write inheritance of the driver);
+* ``k1_identical`` — a k=1 sharded run reproduces the single-process
+  pipeline bit for bit on the same graph;
+* zero leaked ``/dev/shm`` segments after every run.
 
-Quick mode: ``REPRO_BENCH_SHARD_N`` / ``REPRO_BENCH_SHARD_DEG`` /
-``REPRO_BENCH_SHARD_K`` shrink the workload for CI smoke runs.
+Env knobs (CI quick tier vs the full tracked axis):
+
+* ``REPRO_BENCH_SHARD_SIZES`` — space/comma-separated n values
+  (default ``100000``; the full tracked axis is
+  ``"100000 1000000 10000000"``);
+* ``REPRO_BENCH_SHARD_DEG`` — average degree (default 10);
+* ``REPRO_BENCH_SHARD_K`` — shard count, pool width is always k
+  (default 8; the n=10⁶ CI smoke runs k=4);
+* ``REPRO_BENCH_SHARD_MIN_SPEEDUP`` — critical-path gate applied at
+  n ≥ 10⁶ (default 2.0; the 10⁷ acceptance bar is 4.0).
 """
 
 from __future__ import annotations
@@ -36,6 +54,7 @@ from repro.graphs.families import make_graph
 from repro.runner.benchtrack import append_entry
 from repro.runner.spec import load_matrix
 from repro.shard import ShardedColoring, partition_nodes
+from repro.shard.shm import leaked_segments
 from repro.simulator.network import BroadcastNetwork
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -43,63 +62,65 @@ TRAJECTORY = REPO_ROOT / "BENCH_shard.json"
 SPECS = REPO_ROOT / "benchmarks" / "specs" / "shard_quick.toml"
 
 
-def _workload():
-    n = int(os.environ.get("REPRO_BENCH_SHARD_N", "100000"))
-    deg = float(os.environ.get("REPRO_BENCH_SHARD_DEG", "20"))
-    k = int(os.environ.get("REPRO_BENCH_SHARD_K", "4"))
-    return n, deg, k
+def _sizes() -> list[int]:
+    raw = os.environ.get("REPRO_BENCH_SHARD_SIZES")
+    if raw is None:
+        raw = os.environ.get("REPRO_BENCH_SHARD_N", "100000")
+    return [int(float(tok)) for tok in raw.replace(",", " ").split()]
 
 
-@pytest.mark.benchmark(group="E15-shard")
-def test_e15_sharded_vs_single_tracked(benchmark):
-    """The tracked trajectory entry: one geometric graph, one unsharded
-    run, one k-shard run (greedy partition, pool of k workers).
+def _workload() -> tuple[float, int]:
+    deg = float(os.environ.get("REPRO_BENCH_SHARD_DEG", "10"))
+    k = int(os.environ.get("REPRO_BENCH_SHARD_K", "8"))
+    return deg, k
 
-    Gates (CI perf-smoke re-asserts these from the trajectory): the
-    reconciled coloring is proper, complete and within Δ+1; zero
-    unresolved cut conflicts; < 5% of nodes touched during reconciliation;
-    k=1 output bit-identical to the single-process engine.
-    """
-    n, deg, k = _workload()
+
+def _min_speedup() -> float:
+    return float(os.environ.get("REPRO_BENCH_SHARD_MIN_SPEEDUP", "2.0"))
+
+
+def _one_size(n: int, deg: float, k: int) -> dict:
+    """Measure one point on the n-axis and return its trajectory entry.
+
+    Order matters: the sharded run goes *first* so worker RSS is
+    measured before the driver's own heap has ballooned through the
+    single-process reference run."""
     cfg = ColoringConfig.practical(seed=5)
-    graph = make_graph("geometric", n, deg, 1)
-    net = BroadcastNetwork(graph)
+    net = BroadcastNetwork(make_graph("geometric", n, deg, 1))
 
-    # Single-process reference (the identity anchor), timed.
+    # k-shard run: pool of k spawned workers over the shm arena.
+    scfg = ColoringConfig.practical(seed=5, shard_start_method="spawn")
+    t0 = time.perf_counter()
+    sharded = ShardedColoring(
+        net, scfg, k=k, strategy="greedy", workers=k
+    ).run()
+    sharded_s = time.perf_counter() - t0
+    assert leaked_segments() == [], "sharded run leaked /dev/shm segments"
+    assert sharded.faults.get("inline_fallbacks", 0) == 0, sharded.faults
+
+    # Single-process reference on the identical graph.
     t0 = time.perf_counter()
     ref = BroadcastColoring((net.n, net.undirected_edges()), cfg).run()
     single_s = time.perf_counter() - t0
 
-    # k=1 must reproduce it bit for bit.
-    k1 = ShardedColoring(graph, cfg, k=1).run()
-    assert np.array_equal(k1.colors, ref.colors), "k=1 diverged from unsharded"
+    # k=1 must reproduce it bit for bit (the identity anchor).
+    k1 = ShardedColoring(net, cfg, k=1).run()
+    k1_identical = bool(np.array_equal(k1.colors, ref.colors))
+    assert k1_identical, "k=1 diverged from the unsharded pipeline"
 
-    # Pool size follows the machine: a pool wider than the core count
-    # only adds pickling overhead (1-core CI boxes run shards inline).
-    pool = max(1, min(k, os.cpu_count() or 1))
-    t0 = time.perf_counter()
-    sharded = ShardedColoring(
-        graph, cfg, k=k, strategy="greedy", workers=pool
-    ).run()
-    sharded_s = time.perf_counter() - t0
-    speedup = single_s / max(sharded_s, 1e-9)
-
-    print_table(
-        f"E15 sharded vs single (geometric, n={n}, avg_degree={deg:g}, "
-        f"k={k}, strategy=greedy)",
-        ["quantity", "value"],
-        [
-            ("cut fraction", f"{sharded.cut_fraction:.4f}"),
-            ("initial cut conflicts", f"{sharded.initial_conflicts}"),
-            ("touched fraction", f"{sharded.touched_fraction:.4f}"),
-            ("reconcile rounds", f"{sharded.reconcile_rounds}"),
-            ("interior rounds (max shard)", f"{sharded.rounds_interior}"),
-            ("colors used / Δ+1",
-             f"{sharded.num_colors_used} / {sharded.delta + 1}"),
-            ("single-process seconds", f"{single_s:.2f}"),
-            (f"{k}-shard seconds (pool={pool})", f"{sharded_s:.2f}"),
-            ("speedup", f"{speedup:.2f}x"),
-        ],
+    ph = sharded.phase_seconds
+    partition_s = ph.get("shard/partition", 0.0)
+    pack_s = ph.get("shard/pack", 0.0)
+    reconcile_s = ph.get("shard/reconcile", 0.0)
+    driver_s = partition_s + pack_s + reconcile_s
+    interior_max_cpu = max(
+        (r.cpu_seconds for r in sharded.shard_reports), default=0.0
+    )
+    critical_path_s = driver_s + interior_max_cpu
+    speedup = single_s / max(critical_path_s, 1e-9)
+    wall_speedup = single_s / max(sharded_s, 1e-9)
+    worker_rss = max(
+        (r.peak_rss_mb for r in sharded.shard_reports), default=0.0
     )
 
     assert sharded.proper and sharded.complete, sharded.as_dict()
@@ -108,42 +129,85 @@ def test_e15_sharded_vs_single_tracked(benchmark):
     assert sharded.touched_fraction < 0.05, (
         f"reconciliation touched {sharded.touched_fraction:.2%} of nodes"
     )
-
-    append_entry(
-        TRAJECTORY,
-        {
-            "n": n,
-            "avg_degree": deg,
-            "family": "geometric",
-            "k": k,
-            "strategy": "greedy",
-            "cut_edges": sharded.cut_edges,
-            "cut_fraction": round(sharded.cut_fraction, 5),
-            "initial_conflicts": sharded.initial_conflicts,
-            "reconcile_touched": sharded.reconcile_touched,
-            "touched_fraction": round(sharded.touched_fraction, 5),
-            "reconcile_rounds": sharded.reconcile_rounds,
-            "reconcile_iterations": sharded.reconcile_iterations,
-            "unresolved_conflicts": sharded.unresolved_conflicts,
-            "k1_identical": True,
-            "pool_workers": pool,
-            "single_s": round(single_s, 3),
-            "sharded_s": round(sharded_s, 3),
-            "speedup": round(speedup, 2),
-            "partition_s": round(
-                sharded.phase_seconds.get("shard/partition", 0.0), 3
-            ),
-            "interior_s": round(
-                sharded.phase_seconds.get("shard/interior", 0.0), 3
-            ),
-            "reconcile_s": round(
-                sharded.phase_seconds.get("shard/reconcile", 0.0), 3
-            ),
-        },
-        label=f"shard-n{n}-d{deg:g}-k{k}",
+    assert partition_s <= 0.10 * sharded_s, (
+        f"partition {partition_s:.2f}s is over 10% of the "
+        f"{sharded_s:.2f}s sharded run"
     )
-    # Time one reconciliation-scale unit: re-partitioning the graph (the
-    # driver-side overhead sharding adds on top of the parallel interiors).
+    if n >= 1_000_000:
+        floor = _min_speedup() if n < 10_000_000 else max(_min_speedup(), 4.0)
+        assert speedup >= floor, (
+            f"critical-path speedup {speedup:.2f}x below the {floor:g}x "
+            f"gate at n={n}"
+        )
+
+    return {
+        "n": n,
+        "avg_degree": deg,
+        "family": "geometric",
+        "k": k,
+        "strategy": "greedy",
+        "transport": sharded.transport,
+        "pool_workers": k,
+        "host_cores": os.cpu_count() or 1,
+        "cut_edges": sharded.cut_edges,
+        "cut_fraction": round(sharded.cut_fraction, 5),
+        "initial_conflicts": sharded.initial_conflicts,
+        "reconcile_touched": sharded.reconcile_touched,
+        "touched_fraction": round(sharded.touched_fraction, 5),
+        "reconcile_rounds": sharded.reconcile_rounds,
+        "reconcile_iterations": sharded.reconcile_iterations,
+        "unresolved_conflicts": sharded.unresolved_conflicts,
+        "k1_identical": k1_identical,
+        "single_s": round(single_s, 3),
+        "sharded_s": round(sharded_s, 3),
+        "critical_path_s": round(critical_path_s, 3),
+        "speedup": round(speedup, 2),
+        "wall_speedup": round(wall_speedup, 2),
+        "partition_s": round(partition_s, 3),
+        "pack_s": round(pack_s, 3),
+        "interior_s": round(ph.get("shard/interior", 0.0), 3),
+        "interior_max_cpu_s": round(interior_max_cpu, 3),
+        "reconcile_s": round(reconcile_s, 3),
+        "worker_peak_rss_mb": round(worker_rss, 1),
+    }
+
+
+@pytest.mark.benchmark(group="E15-shard")
+def test_e15_scaling_axis_tracked(benchmark):
+    """The tracked n-scaling axis: for every configured size, one
+    sharded run (shm transport, spawned pool of k), one single-process
+    reference, one k=1 identity check — each appending a trajectory
+    entry.
+
+    Gates (CI perf-smoke re-asserts these from the trajectory): proper,
+    complete, within Δ+1, zero unresolved conflicts, < 5% of nodes
+    touched during reconciliation, partition ≤ 10% of the sharded wall,
+    critical-path speedup over the floor at n ≥ 10⁶, k=1 bit-identity,
+    and zero leaked shm segments.
+    """
+    deg, k = _workload()
+    entries = []
+    for n in _sizes():
+        entry = _one_size(n, deg, k)
+        entries.append(entry)
+        append_entry(
+            TRAJECTORY, entry, label=f"shard-n{n}-d{deg:g}-k{k}"
+        )
+    print_table(
+        f"E15 n-scaling axis (geometric, avg_degree={deg:g}, k={k}, "
+        f"workers=k, transport=shm, host_cores={os.cpu_count() or 1})",
+        ["n", "single s", "crit-path s", "speedup", "wall x",
+         "partition s", "reconcile s", "worker RSS MB", "cut frac"],
+        [
+            (e["n"], e["single_s"], e["critical_path_s"], f"{e['speedup']}x",
+             f"{e['wall_speedup']}x", e["partition_s"], e["reconcile_s"],
+             e["worker_peak_rss_mb"], e["cut_fraction"])
+            for e in entries
+        ],
+    )
+    # Benchmark one reconciliation-scale unit: re-partitioning the
+    # smallest measured graph (the driver-side overhead sharding adds).
+    net = BroadcastNetwork(make_graph("geometric", min(_sizes()), deg, 1))
     benchmark.pedantic(
         lambda: partition_nodes(net, k, "greedy"), rounds=1, iterations=1
     )
@@ -154,7 +218,7 @@ def test_e15_partition_strategies(benchmark):
     """Cut quality per strategy on the two structural extremes: greedy
     must crush random on geometric graphs (locality) and never win on
     G(n,p) expanders (no partitioner can)."""
-    n = min(int(os.environ.get("REPRO_BENCH_SHARD_N", "100000")), 20000)
+    n = min(min(_sizes()), 100_000)
     rows = []
     cuts: dict[tuple[str, str], float] = {}
     for family in ("geometric", "gnp"):

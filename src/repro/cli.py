@@ -47,7 +47,7 @@ from repro.runner import (
     mean_timings,
     summarize_payloads,
 )
-from repro.shard import STRATEGIES, ShardedColoring
+from repro.shard import STRATEGIES, TRANSPORTS, ShardedColoring
 from repro.simulator.network import BroadcastNetwork
 
 __all__ = ["main", "build_parser", "make_graph"]
@@ -141,6 +141,7 @@ def cmd_shard(args: argparse.Namespace) -> int:
         seed=args.seed,
         shard_k=args.k,
         shard_strategy=args.strategy,
+        shard_transport=args.transport,
         conflict_victim=args.victim,
     )
     graph = make_graph(args.family, args.n, args.avg_degree, args.seed)
@@ -519,6 +520,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_shard.add_argument("--workers", type=int, default=1,
                          help="process-pool size for shard interiors "
                               "(1 = color shards inline, same results)")
+    p_shard.add_argument("--transport", default="shm", choices=list(TRANSPORTS),
+                         help="how workers receive their shard: 'shm' attaches a "
+                              "zero-copy shared-memory arena, 'pickle' ships the "
+                              "view arrays through the pool pipe (same results)")
     p_shard.add_argument("--victim", default="id", choices=["id", "slack"],
                          help="conflict victim selection during reconciliation")
     p_shard.set_defaults(fn=cmd_shard)

@@ -236,6 +236,40 @@ class ColoringConfig:
     :class:`repro.shard.engine.ShardWorkerError` — the fail-fast mode
     the ``BrokenProcessPool`` propagation test pins."""
 
+    shard_transport: str = "shm"
+    """How shard workers receive their view of the graph. ``"shm"``
+    (default): the driver packs the global CSR + partition index + colors
+    into one ``multiprocessing.shared_memory`` arena
+    (:class:`repro.shard.shm.ShmArena`) and workers attach zero-copy —
+    the argument pipe carries a descriptor of a few hundred bytes and
+    per-worker memory scales with interior + ghost size, not n.
+    ``"pickle"``: the legacy path — each worker receives its full
+    :class:`~repro.simulator.network.ShardView` pickled through the pool
+    pipe (O(n_i + m_i) bytes per worker).  Results are byte-identical
+    either way; the tests pin that."""
+
+    shard_start_method: str = "default"
+    """Multiprocessing start method for the shard worker pool:
+    ``"default"`` (the platform's — fork on linux, fast), ``"fork"``,
+    ``"forkserver"`` or ``"spawn"``.  Results are identical under all of
+    them (the fault plan and every task ride the argument pipe
+    explicitly).  ``"spawn"`` matters for *measurement*: forked workers
+    inherit the driver's whole address space copy-on-write, so their RSS
+    reflects the driver, not the shard — spawned workers start from a
+    bare interpreter and fault in only the shared-memory pages they
+    touch, which is how the per-worker ``peak_rss_mb`` ∝ interior+ghost
+    claim is benchmarked."""
+
+    shard_repair_pool_min: int = 20000
+    """Dispatch a reconciliation sweep to the worker pool only when its
+    repair set (monochromatic cut edges + uncolored stragglers) is at
+    least this many nodes; smaller sweeps run inline in the driver.
+    Boundary repair is cut-sized, so below this scale pool dispatch —
+    worker boot under ``shard_start_method="spawn"`` especially — costs
+    more than the repair itself.  Inline and pooled repair are the same
+    pure function, so this knob never changes the coloring, only where
+    it is computed.  0 forces the pool path (the tests use it)."""
+
     # --- streaming service (repro.serve, DESIGN.md §8) ---
     serve_queue_max: int = 64
     """Admission control for ``repro serve``: the bounded depth of the

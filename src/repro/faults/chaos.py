@@ -86,9 +86,12 @@ def chaos_shard(
     irrelevant to the result — sharded runs are worker-count-invariant);
     the chaos run arms ``plan`` and lets the supervisor retry, rebuild
     pools and degrade to inline execution.  The oracle then demands the
-    recovered coloring be byte-identical to the clean one.
+    recovered coloring be byte-identical to the clean one — and, because
+    the shm transport owns kernel-named ``/dev/shm`` segments, that no
+    arena survived the faults (``leaked_shm_segments`` must be empty).
     """
     from repro.shard.engine import ShardedColoring
+    from repro.shard.shm import leaked_segments
 
     cfg = ColoringConfig.practical(
         seed=seed, shard_k=k, shard_strategy=strategy
@@ -119,6 +122,7 @@ def chaos_shard(
         "unresolved_conflicts": int(chaos.unresolved_conflicts),
         "seconds_reference": round(float(reference.seconds), 6),
         "seconds_chaos": round(float(chaos.seconds), 6),
+        "leaked_shm_segments": leaked_segments(),
     }
     report = _oracle(
         report,
@@ -130,7 +134,9 @@ def chaos_shard(
         chaos.delta + 1,
     )
     report["oracle_ok"] = bool(
-        report["oracle_ok"] and chaos.unresolved_conflicts == 0
+        report["oracle_ok"]
+        and chaos.unresolved_conflicts == 0
+        and not report["leaked_shm_segments"]
     )
     return report
 

@@ -72,6 +72,7 @@ __all__ = [
 
 SITES = (
     "shard.worker",
+    "shard.shm",
     "serve.snapshot.write",
     "serve.connection",
     "runner.trial",

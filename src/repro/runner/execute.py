@@ -218,6 +218,7 @@ def _measure_shard(spec: TrialSpec) -> tuple[dict[str, Any], dict[str, float]]:
         "delta": int(net.delta),
         "k": res.k,
         "strategy": res.strategy,
+        "transport": res.transport,
         "rounds": int(res.rounds_total),
         "rounds_interior": int(res.rounds_interior),
         "proper": bool(res.proper),

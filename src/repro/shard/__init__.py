@@ -3,21 +3,42 @@
 The first layer where the proper-coloring invariant is a *distributed*
 property: the node universe is split across k workers, each colors its
 shard's interior on the induced CSR (plus a read-only ghost frontier of
-cut neighbors), and the driver re-establishes propriety across the cut
-with the batched conflict-repair kernel — by protocol, not by
-construction.  Partitioners in :mod:`repro.shard.partition`, driver in
-:mod:`repro.shard.engine`, surface via ``repro shard`` and the runner's
-``algorithm="shard"`` trials.
+cut neighbors), and the shards themselves re-establish propriety across the cut with the
+boundary-exchange protocol (:mod:`repro.shard.boundary`) — by protocol,
+not by construction.  Workers receive the graph zero-copy through a
+shared-memory arena (:mod:`repro.shard.shm`) by default.  Partitioners
+in :mod:`repro.shard.partition`, driver in :mod:`repro.shard.engine`,
+surface via ``repro shard`` and the runner's ``algorithm="shard"``
+trials.
 """
 
-from repro.shard.engine import ShardedColoring, ShardedResult, ShardReport
-from repro.shard.partition import STRATEGIES, Partition, partition_nodes
+from repro.shard.boundary import CutPlan, repair_boundary
+from repro.shard.engine import (
+    TRANSPORTS,
+    ShardedColoring,
+    ShardedResult,
+    ShardReport,
+)
+from repro.shard.partition import (
+    STRATEGIES,
+    Partition,
+    build_shard_views,
+    partition_nodes,
+)
+from repro.shard.shm import ArenaDescriptor, ShmArena, leaked_segments
 
 __all__ = [
+    "ArenaDescriptor",
+    "CutPlan",
     "Partition",
     "STRATEGIES",
     "ShardReport",
     "ShardedColoring",
     "ShardedResult",
+    "ShmArena",
+    "TRANSPORTS",
+    "build_shard_views",
+    "leaked_segments",
     "partition_nodes",
+    "repair_boundary",
 ]

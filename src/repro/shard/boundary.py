@@ -1,0 +1,248 @@
+"""Shard-local cut reconciliation: the boundary-exchange protocol
+(DESIGN.md §7).
+
+The former reconcile loop ran centrally: every sweep the *driver*
+scanned all m edges for monochromatic pairs and repaired the victims on
+the full global network — an O(m)-per-sweep touch-point that made the
+driver a k-th machine holding the whole graph.  This module moves the
+repair to the shards, keeping the driver's role to *merging deltas and
+detecting convergence*, exactly the cut-centric split of Halldórsson &
+Nolin: reconciliation work and traffic scale with the cut, never with n
+or m.
+
+Protocol, per sweep:
+
+1. **exchange** — every boundary node's color is (conceptually) one
+   broadcast; under the shm transport the exchange is literally reading
+   the shared colors array, and the driver accounts one vector round of
+   ``color_bits`` per boundary node.
+2. **detect, locally** — each shard scans only *its own incident cut
+   edges* (:meth:`CutPlan.edges_of`) for monochromatic pairs.  Both
+   owners of a cut edge see the same two colors, so they agree on the
+   conflict set without any extra message.
+3. **yield, symmetrically** — one endpoint of each conflicting edge
+   surrenders, chosen by a rule both sides evaluate identically from
+   exchanged data only (``conflict_victim`` knob): the larger global id
+   (``"id"``), or the endpoint with more palette slack, ties to the
+   larger id (``"slack"``).  A shard uncolors *only its own* victims.
+4. **repair, locally** — the shard re-colors its victims (plus any of
+   its interior nodes the interior phase left uncolored) against the
+   *fixed* halo — victims' neighbors keep their colors, ghosts included
+   — with the shared :func:`repro.dynamic.engine.conflict_repair`
+   kernel on a halo-sized scratch network.
+5. **merge** — the shard emits a compact ``(node, color)`` delta for
+   exactly the nodes it repaired.  Deltas are disjoint by ownership, so
+   the driver's merge is order-independent; it then re-checks only the
+   cut for convergence.
+
+Two victims adjacent *across* shards can still collide (each repaired
+against the other's pre-sweep color); the sweep loop catches that on the
+next pass, and ``shard_reconcile_max_iters`` bounds the tail.  Every
+function here is a pure function of its array arguments, which is what
+keeps pool, inline, retried, and shm-attached execution byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ColoringConfig
+from repro.dynamic.engine import conflict_repair
+from repro.simulator.metrics import RoundMetrics
+from repro.simulator.network import BroadcastNetwork, gather_csr_rows
+from repro.simulator.rng import SeedSequencer
+
+__all__ = ["CutPlan", "repair_boundary"]
+
+
+@dataclass(frozen=True)
+class CutPlan:
+    """The static geometry of the cut, computed once per run: the cut
+    edge array plus a grouped index so each shard can slice *its* edges
+    in O(1).  Every array is plain data — packable into the shared
+    arena and reconstructible on the worker side via :meth:`from_arrays`.
+    """
+
+    cut: np.ndarray
+    """(c, 2) cut edges, global ids, ``u < v``."""
+    idx: np.ndarray
+    """Cut-edge indices grouped by incident shard (each edge appears
+    twice: once under each owner)."""
+    indptr: np.ndarray
+    """(k+1,) group offsets into ``idx``: shard s's incident cut edges
+    are ``cut[idx[indptr[s]:indptr[s+1]]]``."""
+    boundary: np.ndarray
+    """Sorted global ids incident to at least one cut edge."""
+
+    @classmethod
+    def build(cls, und: np.ndarray, assignment: np.ndarray, k: int) -> "CutPlan":
+        """From the undirected edge array and the shard assignment."""
+        if und.size:
+            ou, ov = assignment[und[:, 0]], assignment[und[:, 1]]
+            mask = ou != ov
+            cut = und[mask]
+            owners = np.stack([ou[mask], ov[mask]], axis=1)
+        else:
+            cut = np.empty((0, 2), dtype=np.int64)
+            owners = np.empty((0, 2), dtype=np.int64)
+        c = cut.shape[0]
+        eid = np.arange(c, dtype=np.int64)
+        shard_key = np.concatenate([owners[:, 0], owners[:, 1]])
+        eids = np.concatenate([eid, eid])
+        order = np.argsort(shard_key, kind="stable")
+        idx = eids[order]
+        indptr = np.searchsorted(
+            shard_key[order], np.arange(k + 1, dtype=np.int64)
+        )
+        boundary = (
+            np.unique(cut.reshape(-1)) if c else np.empty(0, dtype=np.int64)
+        )
+        return cls(cut=cut, idx=idx, indptr=indptr, boundary=boundary)
+
+    def edges_of(self, shard: int) -> np.ndarray:
+        """(c_s, 2) cut edges incident to ``shard`` (global ids)."""
+        return self.cut[self.idx[self.indptr[shard] : self.indptr[shard + 1]]]
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """The plan as named arrays, for arena packing."""
+        return {
+            "cut": self.cut,
+            "cut_idx": self.idx,
+            "cut_indptr": self.indptr,
+            "cut_boundary": self.boundary,
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays) -> "CutPlan":
+        """Rebuild from :meth:`arrays` output (worker side; the arrays
+        may be read-only shared-memory views)."""
+        return cls(
+            cut=arrays["cut"],
+            idx=arrays["cut_idx"],
+            indptr=arrays["cut_indptr"],
+            boundary=arrays["cut_boundary"],
+        )
+
+
+def _endpoint_slack(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    colors: np.ndarray,
+    nodes: np.ndarray,
+    num_colors: int,
+) -> np.ndarray:
+    """Palette slack |Ψ(v)| for ``nodes`` only — the shard-local mirror
+    of :func:`repro.dynamic.engine._palette_sizes`, touching just the
+    endpoints' CSR rows.  Both owners of a cut edge compute this from
+    the same exchanged colors, so the slack victim rule stays symmetric."""
+    nb = gather_csr_rows(indptr, indices, nodes)
+    deg = indptr[nodes + 1] - indptr[nodes]
+    owner = np.repeat(np.arange(nodes.size, dtype=np.int64), deg)
+    c = colors[nb]
+    ok = (c >= 0) & (c < num_colors)
+    pairs = owner[ok] * (num_colors + 1) + c[ok]
+    distinct = np.bincount(
+        np.unique(pairs) // (num_colors + 1), minlength=nodes.size
+    )
+    return num_colors - distinct.astype(np.int64)
+
+
+def repair_boundary(
+    n: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    assignment: np.ndarray,
+    colors: np.ndarray,
+    cut_pairs: np.ndarray,
+    shard: int,
+    extra: np.ndarray,
+    num_colors: int,
+    cfg: ColoringConfig,
+    seed: int,
+    sweep: int,
+) -> dict:
+    """One shard's reconciliation sweep (steps 2–4 of the protocol).
+
+    Pure function of its arguments — all array inputs are read, never
+    written (they may be read-only shm attachments).  ``cut_pairs`` is
+    the shard's incident cut slice (:meth:`CutPlan.edges_of`); ``extra``
+    lists the shard's own still-uncolored nodes (interior stragglers).
+    Returns the delta dict: ``nodes`` / ``colors`` (the shard's repaired
+    nodes, global ids, disjoint across shards by ownership), plus the
+    halo metrics and sweep stats the driver folds in.
+    """
+    u, v = cut_pairs[:, 0], cut_pairs[:, 1]
+    cu, cv = colors[u], colors[v]
+    mono = (cu >= 0) & (cu == cv)
+    um, vm = u[mono], v[mono]
+    policy = cfg.conflict_victim
+    if um.size == 0:
+        vic = np.empty(0, dtype=np.int64)
+    elif policy == "id":
+        vic = vm  # u < v: the larger-id endpoint yields.
+    else:  # "slack"
+        endpoints = np.unique(np.concatenate([um, vm]))
+        pal = _endpoint_slack(indptr, indices, colors, endpoints, num_colors)
+        pal_u = pal[np.searchsorted(endpoints, um)]
+        pal_v = pal[np.searchsorted(endpoints, vm)]
+        pick_v = pal_v >= pal_u
+        vic = np.concatenate([vm[pick_v], um[~pick_v]])
+    own_vic = np.unique(vic[assignment[vic] == shard])
+    repair = (
+        np.unique(np.concatenate([own_vic, extra])) if extra.size else own_vic
+    )
+    metrics = RoundMetrics()
+    if repair.size == 0:
+        return {
+            "shard": int(shard),
+            "nodes": repair,
+            "colors": repair,
+            "metrics": metrics,
+            "victims": 0,
+            "halo_nodes": 0,
+            "repair_rounds": 0,
+        }
+    # The halo: the repair set plus every neighbor (fixed fringe, ghosts
+    # included).  Edges are the repair nodes' CSR rows, relabeled; the
+    # scratch network is halo-sized — never the shard, never the graph.
+    nb = gather_csr_rows(indptr, indices, repair)
+    deg = indptr[repair + 1] - indptr[repair]
+    src = np.repeat(repair, deg)
+    halo = np.unique(np.concatenate([repair, nb]))
+    pairs = np.stack(
+        [
+            np.searchsorted(halo, np.concatenate([src, nb])),
+            np.searchsorted(halo, np.concatenate([nb, src])),
+        ],
+        axis=1,
+    )
+    hnet = BroadcastNetwork(
+        (int(halo.size), pairs),
+        bandwidth_bits=cfg.bandwidth_bits(n),
+        metrics=metrics,
+    )
+    hcolors = colors[halo]
+    rloc = np.searchsorted(halo, repair)
+    hcolors[rloc] = -1
+    hcolors, _, rounds = conflict_repair(
+        hnet,
+        hcolors,
+        rloc,
+        num_colors,
+        cfg,
+        SeedSequencer(seed),
+        tag=sweep,
+        phase="shard/reconcile",
+        mt_label="shard-mt",
+    )
+    return {
+        "shard": int(shard),
+        "nodes": repair,
+        "colors": hcolors[rloc],
+        "metrics": metrics,
+        "victims": int(own_vic.size),
+        "halo_nodes": int(halo.size),
+        "repair_rounds": int(rounds),
+    }

@@ -4,9 +4,18 @@ reconcile the cut (DESIGN.md §7).
 The control flow of :class:`ShardedColoring.run`:
 
 1. **partition** — split [n] into k shards
-   (:func:`repro.shard.partition.partition_nodes`) and extract one
-   :class:`~repro.simulator.network.ShardView` per shard: the interior
-   induced CSR plus the read-only ghost frontier of cut neighbors.
+   (:func:`repro.shard.partition.partition_nodes`).  Under the default
+   ``shard_transport="shm"`` the driver then packs the global CSR, the
+   partition index, the cut plan and the colors array into one
+   shared-memory arena (:class:`repro.shard.shm.ShmArena`); workers
+   attach zero-copy and rebuild their own
+   :class:`~repro.simulator.network.ShardView` from the shared buffers
+   (:func:`~repro.simulator.network.shard_view_from_csr`) — the pool
+   pipe carries a descriptor of a few hundred bytes, never O(n + m)
+   arrays.  ``shard_transport="pickle"`` keeps the legacy path: views
+   extracted in the driver (batched —
+   :func:`repro.shard.partition.build_shard_views`) and pickled to the
+   workers.
 2. **interior** — each shard's interior subgraph is colored by the full
    existing pipeline (:class:`BroadcastColoring`), one worker per shard on
    a ``ProcessPoolExecutor`` (``workers=1`` runs inline — same results,
@@ -14,17 +23,19 @@ The control flow of :class:`ShardedColoring.run`:
    An interior coloring uses ≤ Δ_i+1 ≤ Δ+1 colors, so the merged global
    coloring is within budget and proper on every *interior* edge by
    construction — only cut edges can be monochromatic.
-3. **merge** — interior colors scatter into the global array; the
-   per-shard :class:`RoundMetrics` fold into the driver's account by
-   parallel composition (max rounds, summed traffic —
-   :meth:`RoundMetrics.absorb_parallel`).
-4. **reconcile** — boundary nodes broadcast their colors (one round per
-   sweep); monochromatic cut edges surrender one endpoint each
-   (:func:`repro.dynamic.engine.conflict_victims`, the ``conflict_victim``
-   knob) and the victims re-color against the fixed fringe with the
-   batched :func:`repro.dynamic.engine.conflict_repair` kernel, iterating
-   until cut-clean.  Because repair adoption is proper by construction,
-   one sweep suffices unless a repair stalls at the round cap.
+3. **merge** — interior colors land in the global array (shm workers
+   write their disjoint interior slots directly; pickled workers return
+   them over the pipe); the per-shard :class:`RoundMetrics` fold into
+   the driver's account by parallel composition (max rounds, summed
+   traffic — :meth:`RoundMetrics.absorb_parallel`).
+4. **reconcile** — shard-locally, via the boundary-exchange protocol
+   (:mod:`repro.shard.boundary`): each sweep, every shard with work
+   detects monochromatic edges among *its own incident cut edges*,
+   yields victims by a symmetric rule, and repairs them against the
+   fixed ghost fringe on a halo-sized scratch network; the driver only
+   merges the returned ``(node, color)`` deltas and re-checks the cut
+   for convergence.  k=1 keeps the original central loop, bit for bit —
+   that is the identity gate against the unsharded engine.
 
 The proper-coloring invariant is thus re-established *by protocol*: no
 single worker ever holds the whole graph, and the driver only ever
@@ -49,13 +60,46 @@ from repro.dynamic.engine import (
     monochromatic_edges,
 )
 from repro.faults import plan as faults
-from repro.shard.partition import Partition, partition_nodes
+from repro.shard.boundary import CutPlan, repair_boundary
+from repro.shard.partition import (
+    Partition,
+    build_shard_views,
+    partition_nodes,
+)
+from repro.shard.shm import ArenaDescriptor, ShmArena
 from repro.simulator.metrics import RoundMetrics
-from repro.simulator.network import BroadcastNetwork, ShardView
+from repro.simulator.network import (
+    BroadcastNetwork,
+    ShardView,
+    shard_view_from_csr,
+)
 from repro.simulator.rng import SeedSequencer
 from repro.util.bitio import bits_for_color
 
-__all__ = ["ShardedColoring", "ShardReport", "ShardedResult", "ShardWorkerError"]
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-unix
+    _resource = None
+
+
+def _peak_rss_mb() -> float:
+    """This process's lifetime peak RSS in MiB (0.0 where unavailable).
+    In a pool worker this bounds the transport claim: under shm it scales
+    with interior + ghost pages actually touched, not with n."""
+    if _resource is None:  # pragma: no cover
+        return 0.0
+    kb = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    return round(kb / 1024.0, 3)
+
+TRANSPORTS = ("shm", "pickle")
+
+__all__ = [
+    "ShardedColoring",
+    "ShardReport",
+    "ShardedResult",
+    "ShardWorkerError",
+    "TRANSPORTS",
+]
 
 
 class ShardWorkerError(RuntimeError):
@@ -88,6 +132,17 @@ class ShardReport:
     proper: bool
     complete: bool
     seconds: float
+    cpu_seconds: float = 0.0
+    """CPU time this shard's interior coloring consumed in its process
+    (``time.process_time``).  On a host with fewer cores than workers the
+    wall ``seconds`` mostly measures time-sharing waits; ``cpu_seconds``
+    is what one dedicated machine would pay, and is what the benchmark's
+    critical-path speedup is computed from."""
+    peak_rss_mb: float = 0.0
+    """Worker-process lifetime peak RSS (MiB) at the time the shard
+    finished — the footprint evidence for the shm transport.  Like
+    ``seconds`` it is an environment measurement, not part of the
+    deterministic result."""
 
     def as_dict(self) -> dict:
         """JSON-safe flat dict of this shard's interior account (one row
@@ -104,6 +159,8 @@ class ShardReport:
             "proper": self.proper,
             "complete": self.complete,
             "seconds": round(self.seconds, 6),
+            "cpu_seconds": round(self.cpu_seconds, 6),
+            "peak_rss_mb": self.peak_rss_mb,
         }
 
 
@@ -135,6 +192,10 @@ class ShardedResult:
     rounds_total: int
     total_bits: int
     seconds: float
+    transport: str = "shm"
+    """Which worker transport produced this run ("shm" / "pickle") —
+    results are byte-identical across transports, only the plumbing
+    differs."""
     shard_reports: list[ShardReport] = field(default_factory=list)
     phase_seconds: dict[str, float] = field(default_factory=dict)
     faults: dict = field(default_factory=dict)
@@ -173,6 +234,7 @@ class ShardedResult:
             "rounds_total": self.rounds_total,
             "total_bits": self.total_bits,
             "seconds": round(self.seconds, 6),
+            "transport": self.transport,
             "faults": dict(self.faults),
             "shards": [r.as_dict() for r in self.shard_reports],
         }
@@ -190,6 +252,7 @@ def _color_shard(view: ShardView, cfg: ColoringConfig, attempt: int = 1) -> dict
     """
     faults.inject("shard.worker", shard=int(view.shard), attempt=int(attempt))
     t0 = time.perf_counter()
+    c0 = time.process_time()
     if view.n_interior == 0:
         return {
             "shard": view.shard,
@@ -200,6 +263,8 @@ def _color_shard(view: ShardView, cfg: ColoringConfig, attempt: int = 1) -> dict
                 cut_edges=int(view.cut_edges.shape[0]), delta_interior=0,
                 colors_used=0, rounds=0, total_bits=0, proper=True,
                 complete=True, seconds=time.perf_counter() - t0,
+                cpu_seconds=time.process_time() - c0,
+                peak_rss_mb=_peak_rss_mb(),
             ),
         }
     sub = BroadcastNetwork(view.interior_graph())
@@ -220,6 +285,8 @@ def _color_shard(view: ShardView, cfg: ColoringConfig, attempt: int = 1) -> dict
         proper=bool(result.proper),
         complete=bool(result.complete),
         seconds=time.perf_counter() - t0,
+        cpu_seconds=time.process_time() - c0,
+        peak_rss_mb=_peak_rss_mb(),
     )
     return {
         "shard": view.shard,
@@ -229,19 +296,80 @@ def _color_shard(view: ShardView, cfg: ColoringConfig, attempt: int = 1) -> dict
     }
 
 
+def _view_from_arena(arena: ShmArena, shard: int) -> ShardView:
+    """Rebuild one shard's :class:`ShardView` from the attached arena —
+    the worker-side half of the zero-copy transport.  Touches only the
+    shard's member slice plus its CSR rows (O(interior + ghost)); the
+    full-n arrays are shared pages that fault in per-slice."""
+    a = arena.arrays()
+    starts = a["starts"]
+    members = a["order"][int(starts[shard]) : int(starts[shard + 1])]
+    return shard_view_from_csr(
+        int(a["indptr"].size - 1),
+        a["indptr"],
+        a["indices"],
+        members,
+        a["assignment"],
+        a["local"],
+        shard,
+    )
+
+
 def _pool_color_shard(args: tuple) -> dict:
     """``ProcessPoolExecutor`` entry point (single-argument).
 
-    ``args`` is ``(view, cfg, attempt, plan_payload)``; the fault plan
-    rides along explicitly (as its dict form) and is armed inside the
-    worker, so injection works under any multiprocessing start method —
-    not just fork inheritance — and survives pool re-creation after a
-    hard crash.
+    ``args`` is ``(spec, cfg, attempt, plan_payload)``; ``spec`` is a
+    pickled :class:`ShardView` under ``shard_transport="pickle"``, or an
+    ``(ArenaDescriptor, shard)`` pair under ``"shm"`` — the worker then
+    attaches the arena, rebuilds its view zero-copy, and writes its
+    interior colors straight into the shared colors array (its slots are
+    disjoint from every other shard's), returning ``colors=None`` over
+    the pipe.  The fault plan rides along explicitly (as its dict form)
+    and is armed inside the worker, so injection works under any
+    multiprocessing start method — not just fork inheritance — and
+    survives pool re-creation after a hard crash.
     """
-    view, cfg, attempt, plan_payload = args
+    spec, cfg, attempt, plan_payload = args
     if plan_payload is not None:
         faults.arm(faults.FaultPlan.from_dict(plan_payload))
-    return _color_shard(view, cfg, attempt=attempt)
+    if isinstance(spec, ShardView):
+        return _color_shard(spec, cfg, attempt=attempt)
+    descriptor, shard = spec
+    with ShmArena.attach(descriptor, writeable=("colors",)) as arena:
+        view = _view_from_arena(arena, int(shard))
+        out = _color_shard(view, cfg, attempt=attempt)
+        arena.array("colors")[view.nodes] = out["colors"]
+        out["colors"] = None  # already in shared memory
+        return out
+
+
+def _pool_repair_shard(args: tuple) -> dict:
+    """Pool entry point for one shard's reconciliation sweep under the
+    shm transport: attach read-only, slice the shard's cut edges out of
+    the packed :class:`~repro.shard.boundary.CutPlan`, and run the pure
+    :func:`~repro.shard.boundary.repair_boundary` kernel.  The returned
+    delta is boundary-sized — the only reconciliation bytes that ever
+    cross a process boundary."""
+    descriptor, shard, extra, num_colors, cfg, seed, sweep, plan_payload = args
+    if plan_payload is not None:
+        faults.arm(faults.FaultPlan.from_dict(plan_payload))
+    with ShmArena.attach(descriptor) as arena:
+        a = arena.arrays()
+        plan = CutPlan.from_arrays(a)
+        return repair_boundary(
+            int(a["indptr"].size - 1),
+            a["indptr"],
+            a["indices"],
+            a["assignment"],
+            a["colors"],
+            plan.edges_of(int(shard)),
+            int(shard),
+            extra,
+            num_colors,
+            cfg,
+            seed,
+            sweep,
+        )
 
 
 class ShardedColoring:
@@ -266,6 +394,10 @@ class ShardedColoring:
     workers:
         Process-pool size for the interior phase; ``1`` (default) colors
         shards inline in spec order — identical results, no pool.
+    transport:
+        Overrides the config's ``shard_transport`` ("shm" zero-copy
+        arena / "pickle" legacy views).  Results are byte-identical
+        either way; only bytes-on-the-pipe and per-worker RSS differ.
     """
 
     def __init__(
@@ -275,11 +407,20 @@ class ShardedColoring:
         k: int | None = None,
         strategy: str | None = None,
         workers: int = 1,
+        transport: str | None = None,
     ):
         self.cfg = config or ColoringConfig.practical()
         self.k = int(k) if k is not None else self.cfg.shard_k
         self.strategy = strategy if strategy is not None else self.cfg.shard_strategy
         self.workers = max(1, int(workers))
+        self.transport = (
+            transport if transport is not None else self.cfg.shard_transport
+        )
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown shard transport {self.transport!r} "
+                f"(choose from {TRANSPORTS})"
+            )
         if isinstance(graph, BroadcastNetwork):
             self.net = graph
         else:
@@ -287,6 +428,43 @@ class ShardedColoring:
         if self.net.bandwidth_bits is None:
             self.net.bandwidth_bits = self.cfg.bandwidth_bits(self.net.n)
         self.seq = SeedSequencer(self.cfg.seed).spawn("shard")
+        self._part: Partition | None = None
+        self._local: np.ndarray | None = None
+        self._views: dict[int, ShardView] = {}
+
+    def _pool(self, max_workers: int) -> ProcessPoolExecutor:
+        """A worker pool honoring ``shard_start_method``.  ``"default"``
+        inherits the platform's context (fork on linux); ``"spawn"`` is
+        the measurement mode — workers start from a bare interpreter, so
+        their RSS reflects the shm pages they touch, not the driver's
+        copy-on-write inheritance."""
+        method = self.cfg.shard_start_method
+        if method == "default":
+            return ProcessPoolExecutor(max_workers=max_workers)
+        import multiprocessing as mp
+
+        return ProcessPoolExecutor(
+            max_workers=max_workers, mp_context=mp.get_context(method)
+        )
+
+    def _view(self, shard: int) -> ShardView:
+        """Driver-side view of one shard, built on demand (inline
+        execution and pool-failure fallbacks) and cached."""
+        view = self._views.get(shard)
+        if view is None:
+            if self._local is None:
+                self._local = self._part.local_ids()
+            view = shard_view_from_csr(
+                self.net.n,
+                self.net.indptr,
+                self.net.indices,
+                self._part.members(shard),
+                self._part.assignment,
+                self._local,
+                shard,
+            )
+            self._views[shard] = view
+        return view
 
     # ------------------------------------------------------------------
     def _shard_config(self, shard: int) -> ColoringConfig:
@@ -300,95 +478,97 @@ class ShardedColoring:
         return self.cfg.with_seed(self.seq.derive_seed("color", shard))
 
     def run(self) -> ShardedResult:
-        """Execute the full partitioned run: partition → k interior
-        colorings (pool or inline) → merge → cut reconciliation.
-        Deterministic in ``(graph, config)`` regardless of ``workers``."""
+        """Execute the full partitioned run: partition → pack (arena or
+        views) → k interior colorings (pool or inline) → merge →
+        shard-local cut reconciliation.  Deterministic in
+        ``(graph, config)`` regardless of ``workers`` and transport."""
         cfg, net = self.cfg, self.net
         metrics = net.metrics
         t0 = time.perf_counter()
         rounds_before = metrics.total_rounds
         bits_before = metrics.total_bits
 
-        # ---- 1. partition + view extraction --------------------------
+        # ---- 1. partition --------------------------------------------
         with metrics.time_phase("shard/partition"):
             part = partition_nodes(net, self.k, self.strategy, seed=cfg.seed)
-            views = [
-                net.induced_subgraph(part.assignment == i, shard=i)
-                for i in range(self.k)
-            ]
-            # One cut scan serves everything downstream (stats, boundary).
-            und = net.undirected_edges()
-            cut_mask = part.assignment[und[:, 0]] != part.assignment[und[:, 1]]
-            cut_edge_count = int(cut_mask.sum())
-            boundary = (
-                np.unique(und[cut_mask].reshape(-1))
-                if cut_edge_count
-                else np.empty(0, dtype=np.int64)
+            plan = CutPlan.build(net.undirected_edges(), part.assignment, self.k)
+        self._part = part
+        self._local = None
+        self._views = {}
+        cut_edge_count = int(plan.cut.shape[0])
+        boundary = plan.boundary
+
+        # ---- 1b. pack: shared arena (shm) or extracted views ---------
+        use_shm = self.transport == "shm" and self.workers > 1 and self.k > 1
+        arena: ShmArena | None = None
+        try:
+            if use_shm:
+                with metrics.time_phase("shard/pack"):
+                    order, starts = part.index_arrays()
+                    local = part.local_ids()
+                    self._local = local
+                    arrays = {
+                        "indptr": net.indptr,
+                        "indices": net.indices,
+                        "degrees": net.degrees,
+                        "assignment": part.assignment,
+                        "order": order,
+                        "starts": starts,
+                        "local": local,
+                        "colors": np.full(net.n, -1, dtype=np.int64),
+                    }
+                    arrays.update(plan.arrays())
+                    arena = ShmArena.create(arrays, label=f"k{self.k}")
+                    colors = arena.array("colors")
+                tasks: list = [(arena.descriptor(), i) for i in range(self.k)]
+            else:
+                with metrics.time_phase("shard/pack"):
+                    views = build_shard_views(net, part)
+                self._views = dict(enumerate(views))
+                tasks = list(views)
+                colors = np.full(net.n, -1, dtype=np.int64)
+
+            # ---- 2. interior (parallel over shards, supervised) ------
+            with metrics.time_phase("shard/interior"):
+                outs, fault_account = self._run_interiors(tasks)
+
+                # ---- 3. merge ----------------------------------------
+                # shm workers already wrote their disjoint interior slots;
+                # pickled/inline/fallback outputs scatter here.
+                for i, out in enumerate(outs):
+                    if out["colors"] is not None:
+                        colors[part.members(i)] = out["colors"]
+                metrics.absorb_parallel(
+                    [out["metrics"] for out in outs], phase="shard/interior"
+                )
+            shard_reports = [out["report"] for out in outs]
+            rounds_interior = max((r.rounds for r in shard_reports), default=0)
+
+            # ---- 4. cut reconciliation (shard-local, DESIGN.md §7) ---
+            num_colors = net.delta + 1
+            color_bits = bits_for_color(max(net.delta, 1))
+            touched = np.zeros(net.n, dtype=bool)
+            reconcile_rounds_before = metrics.rounds_in("shard/reconcile")
+            with metrics.time_phase("shard/reconcile"):
+                if self.k == 1:
+                    initial_conflicts, iterations, unresolved, colors = (
+                        self._reconcile_central(colors, boundary, num_colors, color_bits, touched)
+                    )
+                else:
+                    initial_conflicts, iterations, unresolved = (
+                        self._reconcile_boundary(
+                            plan, colors, touched, num_colors, color_bits,
+                            arena, fault_account,
+                        )
+                    )
+            reconcile_rounds = (
+                metrics.rounds_in("shard/reconcile") - reconcile_rounds_before
             )
-
-        # ---- 2. interior coloring (parallel over shards, supervised) -
-        with metrics.time_phase("shard/interior"):
-            outs, fault_account = self._run_interiors(views)
-
-            # ---- 3. merge ------------------------------------------------
-            colors = np.full(net.n, -1, dtype=np.int64)
-            for view, out in zip(views, outs):
-                colors[view.nodes] = out["colors"]
-            metrics.absorb_parallel(
-                [out["metrics"] for out in outs], phase="shard/interior"
-            )
-        shard_reports = [out["report"] for out in outs]
-        rounds_interior = max((r.rounds for r in shard_reports), default=0)
-
-        # ---- 4. cut reconciliation -----------------------------------
-        num_colors = net.delta + 1
-        color_bits = bits_for_color(max(net.delta, 1))
-        touched = np.zeros(net.n, dtype=bool)
-        initial_conflicts = 0
-        iterations = 0
-        unresolved = 0
-        reconcile_rounds_before = metrics.rounds_in("shard/reconcile")
-        with metrics.time_phase("shard/reconcile"):
-            while iterations < cfg.shard_reconcile_max_iters:
-                # Boundary nodes broadcast their color: one sync round per
-                # sweep — the detection information of the protocol.
-                net.account_vector_round(
-                    int(boundary.size), color_bits, phase="shard/reconcile"
-                )
-                mono = monochromatic_edges(net, colors)
-                unresolved = int(mono[0].size)
-                if iterations == 0:
-                    initial_conflicts = unresolved
-                victims = conflict_victims(
-                    net,
-                    colors,
-                    policy=cfg.conflict_victim,
-                    num_colors=num_colors,
-                    edges=mono,
-                )
-                pending = victims | (colors < 0)
-                if not pending.any():
-                    break
-                touched |= pending
-                colors[victims] = -1
-                colors, _, _ = conflict_repair(
-                    net,
-                    colors,
-                    np.flatnonzero(colors < 0),
-                    num_colors,
-                    cfg,
-                    self.seq,
-                    tag=iterations,
-                    phase="shard/reconcile",
-                    mt_label="shard-mt",
-                )
-                iterations += 1
-        if iterations == cfg.shard_reconcile_max_iters:
-            # The loop exited on the cap, not on a clean sweep: recount.
-            unresolved = int(monochromatic_edges(net, colors)[0].size)
-        reconcile_rounds = (
-            metrics.rounds_in("shard/reconcile") - reconcile_rounds_before
-        )
+            if use_shm:
+                colors = np.array(colors, dtype=np.int64, copy=True)
+        finally:
+            if arena is not None:
+                arena.unlink()
 
         src, dst = net.edge_src, net.indices
         proper = not bool(((colors[src] >= 0) & (colors[src] == colors[dst])).any())
@@ -416,6 +596,7 @@ class ShardedColoring:
             rounds_total=metrics.total_rounds - rounds_before,
             total_bits=metrics.total_bits - bits_before,
             seconds=time.perf_counter() - t0,
+            transport=self.transport,
             shard_reports=shard_reports,
             phase_seconds={
                 name: float(secs)
@@ -424,6 +605,230 @@ class ShardedColoring:
             },
             faults=fault_account,
         )
+
+    # ------------------------------------------------------------------
+    # Reconciliation
+    # ------------------------------------------------------------------
+    def _reconcile_central(
+        self,
+        colors: np.ndarray,
+        boundary: np.ndarray,
+        num_colors: int,
+        color_bits: int,
+        touched: np.ndarray,
+    ) -> tuple[int, int, int, np.ndarray]:
+        """The original central reconcile loop, kept verbatim for k=1:
+        it is the bit-identity gate against the unsharded engine (same
+        kernels, same seeds, same round accounting)."""
+        cfg, net = self.cfg, self.net
+        initial_conflicts = 0
+        iterations = 0
+        unresolved = 0
+        while iterations < cfg.shard_reconcile_max_iters:
+            net.account_vector_round(
+                int(boundary.size), color_bits, phase="shard/reconcile"
+            )
+            mono = monochromatic_edges(net, colors)
+            unresolved = int(mono[0].size)
+            if iterations == 0:
+                initial_conflicts = unresolved
+            victims = conflict_victims(
+                net,
+                colors,
+                policy=cfg.conflict_victim,
+                num_colors=num_colors,
+                edges=mono,
+            )
+            pending = victims | (colors < 0)
+            if not pending.any():
+                break
+            touched |= pending
+            colors[victims] = -1
+            colors, _, _ = conflict_repair(
+                net,
+                colors,
+                np.flatnonzero(colors < 0),
+                num_colors,
+                cfg,
+                self.seq,
+                tag=iterations,
+                phase="shard/reconcile",
+                mt_label="shard-mt",
+            )
+            iterations += 1
+        if iterations == cfg.shard_reconcile_max_iters:
+            # The loop exited on the cap, not on a clean sweep: recount.
+            unresolved = int(monochromatic_edges(net, colors)[0].size)
+        return initial_conflicts, iterations, unresolved, colors
+
+    def _repair_inline(
+        self,
+        plan: CutPlan,
+        colors: np.ndarray,
+        shard: int,
+        extra: np.ndarray,
+        num_colors: int,
+        sweep: int,
+    ) -> dict:
+        """Driver-side execution of one shard's sweep — the inline twin
+        of :func:`_pool_repair_shard` (same pure kernel, direct array
+        references instead of an arena attachment)."""
+        net = self.net
+        return repair_boundary(
+            net.n,
+            net.indptr,
+            net.indices,
+            self._part.assignment,
+            np.asarray(colors),
+            plan.edges_of(shard),
+            shard,
+            extra,
+            num_colors,
+            self.cfg,
+            self.seq.derive_seed("reconcile", shard),
+            sweep,
+        )
+
+    def _reconcile_boundary(
+        self,
+        plan: CutPlan,
+        colors: np.ndarray,
+        touched: np.ndarray,
+        num_colors: int,
+        color_bits: int,
+        arena: ShmArena | None,
+        account: dict,
+    ) -> tuple[int, int, int]:
+        """The boundary-exchange sweep loop (k>1): shards with work
+        repair their own boundary shard-locally (pool under shm,
+        otherwise inline — byte-identical either way); the driver merges
+        the disjoint deltas and re-checks only the cut.  Pool failures
+        degrade to inline execution with faults suppressed — the sweep
+        must finish, and the inline kernel is the same pure function."""
+        cfg, net = self.cfg, self.net
+        metrics = net.metrics
+        cu_idx, cv_idx = plan.cut[:, 0], plan.cut[:, 1]
+        assignment = self._part.assignment
+        empty = np.empty(0, dtype=np.int64)
+        armed = faults.armed_plan()
+        plan_payload = armed.as_dict() if armed is not None else None
+        timeout = float(cfg.shard_worker_timeout_s) or None
+        initial_conflicts = 0
+        iterations = 0
+        unresolved = 0
+        pool: ProcessPoolExecutor | None = None
+        try:
+            while iterations < cfg.shard_reconcile_max_iters:
+                # The exchange: every boundary node's color, one vector
+                # round per sweep (under shm the bytes are literally the
+                # shared colors pages).
+                net.account_vector_round(
+                    int(plan.boundary.size), color_bits, phase="shard/reconcile"
+                )
+                cu, cv = colors[cu_idx], colors[cv_idx]
+                mono = (cu >= 0) & (cu == cv)
+                unresolved = int(mono.sum())
+                if iterations == 0:
+                    initial_conflicts = unresolved
+                uncolored = np.flatnonzero(np.asarray(colors) < 0)
+                if unresolved == 0 and uncolored.size == 0:
+                    break
+                active = np.zeros(self.k, dtype=bool)
+                if unresolved:
+                    active[
+                        np.unique(assignment[plan.cut[mono].reshape(-1)])
+                    ] = True
+                extras: dict[int, np.ndarray] = {}
+                if uncolored.size:
+                    own = assignment[uncolored]
+                    for s in np.unique(own):
+                        extras[int(s)] = uncolored[own == s]
+                        active[s] = True
+                shards = [int(s) for s in np.flatnonzero(active)]
+                outs: list[dict] = []
+                # Boundary repair is cut-sized: below the dispatch
+                # threshold the driver repairs inline — the pure kernel
+                # is byte-identical either way, and pool dispatch
+                # (possibly spawning fresh interpreters) costs more than
+                # a small sweep's repair itself.
+                sweep_work = unresolved + int(uncolored.size)
+                use_pool = (
+                    arena is not None
+                    and self.workers > 1
+                    and shards
+                    and sweep_work >= cfg.shard_repair_pool_min
+                )
+                if use_pool:
+                    if pool is None:
+                        pool = self._pool(min(self.workers, len(shards)))
+                    futs = {
+                        s: pool.submit(
+                            _pool_repair_shard,
+                            (
+                                arena.descriptor(),
+                                s,
+                                extras.get(s, empty),
+                                num_colors,
+                                cfg,
+                                self.seq.derive_seed("reconcile", s),
+                                iterations,
+                                plan_payload,
+                            ),
+                        )
+                        for s in shards
+                    }
+                    for s, fut in futs.items():
+                        t_fail = time.perf_counter()
+                        try:
+                            outs.append(fut.result(timeout=timeout))
+                        except Exception:
+                            lost = time.perf_counter() - t_fail
+                            account["worker_crashes"] += 1
+                            account["time_lost_s"] = round(
+                                account["time_lost_s"] + lost, 6
+                            )
+                            metrics.record_fault("worker_crash", lost)
+                            account["inline_fallbacks"] += 1
+                            metrics.record_fault("inline_fallback")
+                            # A dead/hung worker poisons the pool: rebuild
+                            # it lazily on the next sweep.
+                            if pool is not None:
+                                pool.shutdown(wait=False, cancel_futures=True)
+                                pool = None
+                            with faults.suppressed():
+                                outs.append(
+                                    self._repair_inline(
+                                        plan, colors, s,
+                                        extras.get(s, empty),
+                                        num_colors, iterations,
+                                    )
+                                )
+                else:
+                    for s in shards:
+                        outs.append(
+                            self._repair_inline(
+                                plan, colors, s, extras.get(s, empty),
+                                num_colors, iterations,
+                            )
+                        )
+                # Merge: deltas are disjoint by ownership, so the order
+                # of application cannot matter.
+                for out in outs:
+                    nodes = out["nodes"]
+                    if nodes.size:
+                        colors[nodes] = out["colors"]
+                        touched[nodes] = True
+                metrics.absorb_parallel(
+                    [out["metrics"] for out in outs], phase="shard/reconcile"
+                )
+                iterations += 1
+            if iterations == cfg.shard_reconcile_max_iters:
+                cu, cv = colors[cu_idx], colors[cv_idx]
+                unresolved = int(((cu >= 0) & (cu == cv)).sum())
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        return initial_conflicts, iterations, unresolved
 
     # ------------------------------------------------------------------
     # Interior supervision (DESIGN.md §9)
@@ -441,25 +846,30 @@ class ShardedColoring:
         return min(base * (2 ** (attempt - 1)), 30.0) * jitter
 
     def _fail_or_fallback(
-        self, shard: int, view, cfg_i, attempts: int, cause: str, account: dict
+        self, shard: int, cfg_i, attempts: int, cause: str, account: dict
     ) -> dict:
         """Retries exhausted: degrade to inline execution in the driver
         (fault plan suppressed — the work must *succeed*, not re-die),
-        or raise :class:`ShardWorkerError` when degradation is off."""
+        or raise :class:`ShardWorkerError` when degradation is off.  The
+        driver builds the shard's view on demand — under shm it never
+        extracted one up front."""
         if not self.cfg.shard_inline_fallback:
             raise ShardWorkerError(shard, attempts, cause)
         account["inline_fallbacks"] += 1
         self.net.metrics.record_fault("inline_fallback")
         with faults.suppressed():
-            return _color_shard(view, cfg_i, attempt=attempts + 1)
+            return _color_shard(self._view(shard), cfg_i, attempt=attempts + 1)
 
-    def _run_interiors(self, views: list) -> tuple[list, dict]:
+    def _run_interiors(self, tasks: list) -> tuple[list, dict]:
         """The supervisor loop around the interior phase: submit every
         shard, detect crashes (``BrokenProcessPool``, injected faults),
         enforce the per-shard wall-clock deadline, retry with backoff
         (same derived seed → bit-identical recovery), and degrade to
         inline execution for shards that keep failing.  Returns the
-        per-shard outputs in shard order plus the fault account."""
+        per-shard outputs in shard order plus the fault account.
+        ``tasks`` holds one picklable spec per shard: a
+        :class:`ShardView` (pickle transport / inline) or an
+        ``(ArenaDescriptor, shard)`` pair (shm)."""
         cfg = self.cfg
         metrics = self.net.metrics
         shard_cfgs = [self._shard_config(i) for i in range(self.k)]
@@ -481,7 +891,7 @@ class ShardedColoring:
                 while outs[i] is None:
                     t0 = time.perf_counter()
                     try:
-                        outs[i] = _color_shard(views[i], shard_cfgs[i], attempt=attempt)
+                        outs[i] = _color_shard(tasks[i], shard_cfgs[i], attempt=attempt)
                     except Exception as exc:
                         lost = time.perf_counter() - t0
                         account["worker_crashes"] += 1
@@ -489,7 +899,7 @@ class ShardedColoring:
                         metrics.record_fault("worker_crash", lost)
                         if attempt >= max_attempts:
                             outs[i] = self._fail_or_fallback(
-                                i, views[i], shard_cfgs[i], attempt, repr(exc), account
+                                i, shard_cfgs[i], attempt, repr(exc), account
                             )
                             break
                         account["retries"] += 1
@@ -504,13 +914,13 @@ class ShardedColoring:
         timeout = float(cfg.shard_worker_timeout_s) or None
         pending = list(range(self.k))
         attempt = {i: 1 for i in pending}
-        pool = ProcessPoolExecutor(max_workers=min(self.workers, self.k))
+        pool = self._pool(min(self.workers, self.k))
         try:
             while pending:
                 futs = {
                     i: pool.submit(
                         _pool_color_shard,
-                        (views[i], shard_cfgs[i], attempt[i], plan_payload),
+                        (tasks[i], shard_cfgs[i], attempt[i], plan_payload),
                     )
                     for i in pending
                 }
@@ -543,11 +953,11 @@ class ShardedColoring:
                     continue
                 if pool_broken:
                     pool.shutdown(wait=False, cancel_futures=True)
-                    pool = ProcessPoolExecutor(max_workers=min(self.workers, self.k))
+                    pool = self._pool(min(self.workers, self.k))
                 for i, _kind, cause in failed:
                     if attempt[i] >= max_attempts:
                         outs[i] = self._fail_or_fallback(
-                            i, views[i], shard_cfgs[i], attempt[i], cause, account
+                            i, shard_cfgs[i], attempt[i], cause, account
                         )
                         continue
                     account["retries"] += 1

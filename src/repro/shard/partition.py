@@ -14,11 +14,14 @@ span the interesting regimes:
 * ``"random"`` — a seeded permutation chopped into balanced blocks: the
   adversarial baseline (expected cut fraction 1 − 1/k on any graph),
   which is what the reconciliation benches stress against.
-* ``"greedy"`` — METIS-like greedy balanced graph growing: each shard
-  grows from a high-degree seed by repeatedly absorbing the unassigned
-  node with the most neighbors already inside, until the balanced target
-  size is reached.  On graphs with topology-locality (geometric,
-  blobs) this discovers low cuts without node ids cooperating.
+* ``"greedy"`` — vectorized balanced graph growing: each shard grows
+  from a high-degree seed by absorbing its *bucketed frontier* in bulk
+  (whole gain-ordered layers instead of one heap pop per node), then a
+  balanced label-propagation refinement pass trades boundary nodes
+  between shard pairs.  On graphs with topology-locality (geometric,
+  blobs) this discovers low cuts without node ids cooperating — and it
+  runs at n ≫ 10⁶, where the former per-node heap loop took seconds at
+  n = 10⁵.
 
 All strategies are deterministic functions of ``(graph, k, seed)`` and
 produce shard sizes differing by at most one.
@@ -26,31 +29,80 @@ produce shard sizes differing by at most one.
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.simulator.network import BroadcastNetwork
+from repro.simulator.network import (
+    BroadcastNetwork,
+    ShardView,
+    gather_csr_rows,
+    shard_view_from_csr,
+)
 
-__all__ = ["Partition", "partition_nodes", "STRATEGIES"]
+__all__ = ["Partition", "partition_nodes", "build_shard_views", "STRATEGIES"]
 
 STRATEGIES = ("contiguous", "random", "greedy")
 
 
 @dataclass
 class Partition:
-    """An assignment of every node to one of k shards."""
+    """An assignment of every node to one of k shards.
+
+    Membership queries go through one lazily-built sorted-by-shard index
+    (a stable ``argsort`` of the assignment + per-shard start offsets):
+    :meth:`members` and :meth:`local_ids` are O(1) slices afterwards,
+    instead of an O(n) ``flatnonzero`` scan per call.
+    """
 
     assignment: np.ndarray
     """Shard id per node, values in ``[0, k)``."""
     k: int
     strategy: str
     seed: int
+    _order: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _starts: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def _index(self) -> tuple[np.ndarray, np.ndarray]:
+        """The sorted-by-shard node index, built once: ``order`` lists
+        node ids grouped by shard (ascending ids inside each shard —
+        stable sort), ``starts[s]:starts[s+1]`` is shard s's slice."""
+        if self._order is None:
+            order = np.argsort(self.assignment, kind="stable").astype(np.int64)
+            starts = np.searchsorted(
+                self.assignment[order], np.arange(self.k + 1, dtype=np.int64)
+            )
+            self._order, self._starts = order, starts
+        return self._order, self._starts
 
     def members(self, shard: int) -> np.ndarray:
-        """Sorted global node ids of ``shard``'s interior."""
-        return np.flatnonzero(self.assignment == shard).astype(np.int64)
+        """Sorted global node ids of ``shard``'s interior (an O(1) slice
+        of the prebuilt index)."""
+        order, starts = self._index()
+        return order[starts[shard] : starts[shard + 1]]
+
+    def local_ids(self) -> np.ndarray:
+        """Per node, its local id inside its own shard — the rank of the
+        node among its shard's sorted members.  ``members(s)[local_ids[v]]
+        == v`` for every v in shard s; this is the relabeling every
+        :class:`~repro.simulator.network.ShardView` uses."""
+        order, starts = self._index()
+        local = np.empty(self.assignment.size, dtype=np.int64)
+        local[order] = (
+            np.arange(self.assignment.size, dtype=np.int64)
+            - starts[self.assignment[order]]
+        )
+        return local
+
+    def index_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The raw ``(order, starts)`` index pair — plain arrays, so the
+        shared-memory arena can pack them and a worker can slice its own
+        member list zero-copy: ``order[starts[s]:starts[s+1]]``."""
+        return self._index()
 
     def sizes(self) -> np.ndarray:
         """Interior size per shard."""
@@ -100,50 +152,205 @@ def _random(n: int, k: int, seed: int) -> np.ndarray:
     return assignment
 
 
-def _greedy(net: BroadcastNetwork, k: int) -> np.ndarray:
-    """Greedy balanced graph growing (the METIS GGGP idea, one pass).
+# The CSR row gather lives in simulator.network (shared with the
+# zero-copy shard-view builder); keep the historical local name.
+_gather_rows = gather_csr_rows
 
-    Shard s grows to its balanced target by popping the unassigned node
-    with maximal *gain* (#neighbors already in s) from a lazy-deletion
-    heap; ties break toward the smaller node id.  When the frontier dries
-    up (component exhausted) growth restarts from the highest-degree
-    unassigned node.
+
+def _greedy_grow(net: BroadcastNetwork, k: int) -> np.ndarray:
+    """Bucketed-frontier balanced graph growing (the METIS GGGP idea,
+    vectorized).
+
+    Shard s grows to its balanced target by absorbing its *whole
+    frontier layer* per step — every unassigned node adjacent to the
+    shard.  Only the final, capacity-limited layer needs gains
+    (#neighbors already inside): they are computed for exactly that
+    layer with one CSR row gather + segment ``bincount``, and the layer
+    is cut by (gain desc, id asc).  Every other layer is a plain BFS
+    absorption: one CSR gather plus a sort-free scatter-stamp dedup
+    (write each candidate's position into a per-node stamp, keep the
+    positions that read back their own write — one survivor per
+    distinct node), so the total work is O(m) gathers instead of one
+    heap operation per edge.  When the frontier dries up (component
+    exhausted) growth restarts from the highest-degree unassigned node,
+    exactly like the former per-node loop.
     """
     n = net.n
     assignment = np.full(n, -1, dtype=np.int64)
+    indptr, indices = net.indptr, net.indices
     # Seed order: highest degree first, id as tie-break (deterministic).
     seed_order = np.lexsort((np.arange(n), -net.degrees))
     seed_ptr = 0
     assigned = 0
-    indptr, indices = net.indptr, net.indices
+    in_frontier = np.zeros(n, dtype=bool)
+    # Dedup scratch: always fully rewritten by the scatter before being
+    # read, so it never needs clearing between layers.
+    stamp = np.empty(n, dtype=np.int64)
     for s in range(k):
-        remaining_shards = k - s
-        target = (n - assigned + remaining_shards - 1) // remaining_shards
-        gain = np.zeros(n, dtype=np.int64)
-        heap: list[tuple[int, int]] = []
+        remaining = k - s
+        target = (n - assigned + remaining - 1) // remaining
         size = 0
+        frontier = np.empty(0, dtype=np.int64)
         while size < target:
-            node = -1
-            while heap:
-                neg_gain, cand = heapq.heappop(heap)
-                if assignment[cand] == -1 and -neg_gain == gain[cand]:
-                    node = cand
-                    break
-            if node == -1:
-                while seed_ptr < n and assignment[seed_order[seed_ptr]] != -1:
+            if frontier.size == 0:
+                while seed_ptr < n and assignment[seed_order[seed_ptr]] >= 0:
                     seed_ptr += 1
                 if seed_ptr >= n:
                     break
-                node = int(seed_order[seed_ptr])
-            assignment[node] = s
-            size += 1
-            assigned += 1
-            for nb in indices[indptr[node] : indptr[node + 1]]:
-                nb = int(nb)
-                if assignment[nb] == -1:
-                    gain[nb] += 1
-                    heapq.heappush(heap, (-gain[nb], nb))
+                batch = seed_order[seed_ptr : seed_ptr + 1]
+            else:
+                cap = target - size
+                if frontier.size <= cap:
+                    batch = frontier
+                    frontier = np.empty(0, dtype=np.int64)
+                else:
+                    # Final layer: rank by gain (#neighbors already in s),
+                    # one segment count over the frontier's CSR rows.
+                    nb = _gather_rows(indptr, indices, frontier)
+                    deg = indptr[frontier + 1] - indptr[frontier]
+                    owner = np.repeat(
+                        np.arange(frontier.size, dtype=np.int64), deg
+                    )
+                    gain = np.bincount(
+                        owner[assignment[nb] == s], minlength=frontier.size
+                    )
+                    order = np.lexsort((frontier, -gain))
+                    batch = frontier[order[:cap]]
+                    frontier = frontier[order[cap:]]
+            assignment[batch] = s
+            size += int(batch.size)
+            assigned += int(batch.size)
+            nbrs = _gather_rows(indptr, indices, batch)
+            if nbrs.size:
+                cand = nbrs[(assignment[nbrs] < 0) & ~in_frontier[nbrs]]
+                if cand.size:
+                    pos = np.arange(cand.size, dtype=np.int64)
+                    stamp[cand] = pos
+                    cand = cand[stamp[cand] == pos]
+                    in_frontier[cand] = True
+                    frontier = (
+                        cand if not frontier.size
+                        else np.concatenate([frontier, cand])
+                    )
+        # Nodes left on the frontier stay unassigned for later shards —
+        # clear their membership stamp so shard s+1 can rediscover them.
+        if frontier.size:
+            in_frontier[frontier] = False
     return assignment
+
+
+def _refine_balanced(
+    net: BroadcastNetwork, assignment: np.ndarray, k: int, rounds: int = 2
+) -> np.ndarray:
+    """Balance-preserving label-propagation refinement.
+
+    Per round: every boundary node counts its neighbors per shard (one
+    CSR gather + ``bincount`` over (node, shard) keys) and nominates a
+    move to its majority shard when that strictly beats staying.  Moves
+    are then settled *pairwise*: for each shard pair (a, b), the top
+    gainers wanting a→b swap with equally many wanting b→a — sizes never
+    change, so the balanced contract survives refinement by
+    construction.  A round's cut change is evaluated as a *delta* over
+    the moved nodes' incident edges only (edges between two moved nodes
+    are seen from both rows and halved), so accepting or rolling back a
+    round never rescans the full edge array; a round that fails to
+    shrink the cut is dropped (simultaneous moves can interfere), which
+    makes the refinement monotone in cut size.
+    """
+    und = net.undirected_edges()
+    if not und.size or k < 2:
+        return assignment
+    indptr, indices = net.indptr, net.indices
+    assignment = assignment.copy()
+
+    for _ in range(rounds):
+        su, sv = assignment[und[:, 0]], assignment[und[:, 1]]
+        cut_mask = su != sv
+        if not cut_mask.any():
+            break
+        boundary = np.unique(und[cut_mask].reshape(-1))
+        nbrs = _gather_rows(indptr, indices, boundary)
+        deg = indptr[boundary + 1] - indptr[boundary]
+        owner = np.repeat(np.arange(boundary.size, dtype=np.int64), deg)
+        per_shard = np.bincount(
+            owner * k + assignment[nbrs], minlength=boundary.size * k
+        ).reshape(boundary.size, k)
+        here = assignment[boundary]
+        stay = per_shard[np.arange(boundary.size), here]
+        masked = per_shard.copy()
+        masked[np.arange(boundary.size), here] = -1
+        dest = np.argmax(masked, axis=1).astype(np.int64)
+        move_gain = masked[np.arange(boundary.size), dest] - stay
+        wants = move_gain > 0
+        if not wants.any():
+            break
+        cand_nodes = boundary[wants]
+        cand_from = here[wants]
+        cand_to = dest[wants]
+        cand_gain = move_gain[wants]
+        proposed = assignment.copy()
+        # Settle pairwise: equal counter-flows keep every size fixed.
+        for a in range(k):
+            for b in range(a + 1, k):
+                ab = np.flatnonzero((cand_from == a) & (cand_to == b))
+                ba = np.flatnonzero((cand_from == b) & (cand_to == a))
+                q = min(ab.size, ba.size)
+                if not q:
+                    continue
+                for side, to in ((ab, b), (ba, a)):
+                    order = np.lexsort((cand_nodes[side], -cand_gain[side]))
+                    proposed[cand_nodes[side[order[:q]]]] = to
+        moved = cand_nodes[proposed[cand_nodes] != assignment[cand_nodes]]
+        if not moved.size:
+            break
+        # Cut delta over moved nodes' rows only: an edge with one moved
+        # endpoint appears in exactly one gathered row; an edge between
+        # two moved endpoints appears in both, so that half is halved.
+        mnb = _gather_rows(indptr, indices, moved)
+        mdeg = indptr[moved + 1] - indptr[moved]
+        msrc = np.repeat(moved, mdeg)
+        contrib = (proposed[msrc] != proposed[mnb]).astype(np.int64)
+        contrib -= assignment[msrc] != assignment[mnb]
+        moved_mask = np.zeros(assignment.size, dtype=bool)
+        moved_mask[moved] = True
+        both = moved_mask[mnb]
+        delta = int(contrib[~both].sum()) + int(contrib[both].sum()) // 2
+        if delta >= 0:
+            break
+        assignment = proposed
+    return assignment
+
+
+def _greedy(net: BroadcastNetwork, k: int) -> np.ndarray:
+    """Vectorized greedy: bucketed-frontier growing + balanced
+    label-propagation refinement (both deterministic in the graph)."""
+    return _refine_balanced(net, _greedy_grow(net, k), k)
+
+
+def build_shard_views(
+    net: BroadcastNetwork, partition: Partition
+) -> list[ShardView]:
+    """Extract every shard's :class:`ShardView` in one batched pass.
+
+    Reuses the partition's cached sorted-by-shard index and gathers only
+    each shard's CSR rows (total O(m) across all shards), instead of the
+    former per-shard ``induced_subgraph`` scan of the full edge array
+    (O(m·k)).  The views are bit-identical to the ``induced_subgraph``
+    path — same arrays, same order — which the shard tests assert.
+    """
+    local = partition.local_ids()
+    return [
+        shard_view_from_csr(
+            net.n,
+            net.indptr,
+            net.indices,
+            partition.members(s),
+            partition.assignment,
+            local,
+            s,
+        )
+        for s in range(partition.k)
+    ]
 
 
 def partition_nodes(

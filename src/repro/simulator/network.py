@@ -28,7 +28,32 @@ import numpy as np
 from repro.simulator.messages import Broadcast
 from repro.simulator.metrics import RoundMetrics
 
-__all__ = ["BroadcastNetwork", "BandwidthExceeded", "DeltaReport", "ShardView"]
+__all__ = [
+    "BroadcastNetwork",
+    "BandwidthExceeded",
+    "DeltaReport",
+    "ShardView",
+    "gather_csr_rows",
+    "shard_view_from_csr",
+]
+
+
+def gather_csr_rows(
+    indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray
+) -> np.ndarray:
+    """Concatenated CSR adjacency of ``rows`` (one fancy-index gather, no
+    per-row python loop).  Works on any CSR buffer pair — including
+    read-only shared-memory attachments."""
+    starts = indptr[rows]
+    counts = indptr[rows + 1] - starts
+    total = int(counts.sum())
+    if not total:
+        return np.empty(0, dtype=indices.dtype)
+    # Position j of the output reads indices[starts[r] + (j - row_base[r])]
+    # for the row r that owns j.
+    row_base = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    idx = np.arange(total, dtype=np.int64) + np.repeat(starts - row_base, counts)
+    return indices[idx]
 
 
 class BandwidthExceeded(RuntimeError):
@@ -117,6 +142,72 @@ class ShardView:
         return out
 
 
+def shard_view_from_csr(
+    n: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    members: np.ndarray,
+    assignment: np.ndarray,
+    local: np.ndarray,
+    shard: int,
+) -> ShardView:
+    """Build one shard's :class:`ShardView` straight from CSR buffers —
+    the zero-copy twin of :meth:`BroadcastNetwork.induced_subgraph`.
+
+    Where ``induced_subgraph`` scans the full undirected edge array per
+    shard (O(m) each, O(m·k) across a partition), this gathers only the
+    *members'* CSR rows — O(vol(shard)) — and works equally on in-process
+    arrays and read-only ``multiprocessing.shared_memory`` attachments,
+    which is how ``shard_transport="shm"`` workers reconstruct their view
+    without ever receiving O(n + m) pickled bytes.  Output arrays are
+    bit-identical to ``induced_subgraph``'s (same contents, same order):
+    members ascend and CSR rows are sorted, so interior edges fall out
+    already in undirected (u, v)-lexicographic order; cut edges get one
+    small lexsort over the cut only to match the reference order.
+
+    ``members`` must be the shard's sorted global ids, ``assignment`` the
+    full shard-id-per-node array, and ``local`` the per-node local rank
+    (:meth:`repro.shard.partition.Partition.local_ids`).
+    """
+    members = np.asarray(members, dtype=np.int64)
+    nb = gather_csr_rows(indptr, indices, members)
+    if nb.size:
+        deg = indptr[members + 1] - indptr[members]
+        src = np.repeat(members, deg)
+        inside = assignment[nb] == shard
+        keep = inside & (src < nb)
+        interior = np.stack([local[src[keep]], local[nb[keep]]], axis=1)
+        cross = ~inside
+        inner_end, ghost_end = src[cross], nb[cross]
+        ghost_nodes = np.unique(ghost_end)
+        # Reference order: undirected edges sorted by (min, max).
+        order = np.lexsort(
+            (
+                np.maximum(inner_end, ghost_end),
+                np.minimum(inner_end, ghost_end),
+            )
+        )
+        inner_end, ghost_end = inner_end[order], ghost_end[order]
+        cut = np.stack(
+            [local[inner_end], np.searchsorted(ghost_nodes, ghost_end)],
+            axis=1,
+        )
+    else:
+        interior = np.empty((0, 2), dtype=np.int64)
+        ghost_nodes = np.empty(0, dtype=np.int64)
+        cut = np.empty((0, 2), dtype=np.int64)
+    ghost_nodes.flags.writeable = False
+    cut.flags.writeable = False
+    return ShardView(
+        shard=int(shard),
+        n_global=int(n),
+        nodes=members,
+        interior_edges=interior,
+        ghost_nodes=ghost_nodes,
+        cut_edges=cut,
+    )
+
+
 def _edges_from_input(graph) -> tuple[int, np.ndarray]:
     """Normalize the input into (n, undirected edge array of shape (m, 2)).
 
@@ -190,6 +281,50 @@ class BroadcastNetwork:
         self.bandwidth_bits = bandwidth_bits
         self.metrics = metrics if metrics is not None else RoundMetrics()
         self._set_csr(src, dst)
+
+    @classmethod
+    def from_sorted_pairs(
+        cls,
+        n: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        bandwidth_bits: int | None = None,
+        metrics: RoundMetrics | None = None,
+    ) -> "BroadcastNetwork":
+        """Build a network from directed pairs already lexsorted by
+        (src, dst), deduplicated, and free of self-loops — skipping
+        ``__init__``'s O(m log m) lexsort.  This is the trusted fast path
+        for callers that *derived* the pairs from an existing CSR (shard
+        workers slicing their interior out of the shared global graph);
+        the contract is not checked."""
+        net = cls.__new__(cls)
+        net.n = int(n)
+        net.bandwidth_bits = bandwidth_bits
+        net.metrics = metrics if metrics is not None else RoundMetrics()
+        net._set_csr(
+            np.ascontiguousarray(src, dtype=np.int64),
+            np.ascontiguousarray(dst, dtype=np.int64),
+        )
+        return net
+
+    @classmethod
+    def from_csr(
+        cls,
+        n: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        bandwidth_bits: int | None = None,
+        metrics: RoundMetrics | None = None,
+    ) -> "BroadcastNetwork":
+        """Build a network over existing CSR buffers (e.g. read-only
+        shared-memory attachments) without re-sorting: ``indices`` must be
+        row-sorted and deduplicated, as every CSR this module emits is."""
+        indptr = np.asarray(indptr, dtype=np.int64)
+        degrees = np.diff(indptr)
+        src = np.repeat(np.arange(int(n), dtype=np.int64), degrees)
+        return cls.from_sorted_pairs(
+            n, src, indices, bandwidth_bits=bandwidth_bits, metrics=metrics
+        )
 
     def _set_csr(self, src: np.ndarray, dst: np.ndarray) -> None:
         """(Re)build every derived array from sorted unique directed pairs.

@@ -25,8 +25,9 @@ from repro.graphs.families import make_graph
 from repro.graphs.generators import geometric_graph, gnp_graph
 from repro.runner import ParallelRunner, ResultStore, TrialSpec, load_matrix
 from repro.runner.execute import run_trial
-from repro.shard import STRATEGIES, ShardedColoring, partition_nodes
-from repro.shard.engine import _color_shard
+from repro.shard import STRATEGIES, TRANSPORTS, ShardedColoring, partition_nodes
+from repro.shard.engine import _color_shard, _view_from_arena
+from repro.shard.shm import ShmArena, leaked_segments
 from repro.simulator.network import BroadcastNetwork
 
 QUICK_MATRIX = "benchmarks/specs/quick.toml"
@@ -227,11 +228,12 @@ class TestShardedColoring:
 
     def test_pool_identical_to_inline(self):
         def deterministic(d: dict) -> dict:
-            # Wall-clock rides outside the deterministic account, exactly
-            # as in TrialResult (elapsed_s/timings vs payload).
-            d = {k: v for k, v in d.items() if k != "seconds"}
+            # Wall-clock and RSS ride outside the deterministic account,
+            # exactly as in TrialResult (elapsed_s/timings vs payload).
+            env = ("seconds", "cpu_seconds", "peak_rss_mb")
+            d = {k: v for k, v in d.items() if k not in env}
             d["shards"] = [
-                {k: v for k, v in s.items() if k != "seconds"}
+                {k: v for k, v in s.items() if k not in env}
                 for s in d["shards"]
             ]
             return d
@@ -357,3 +359,189 @@ class TestShardRunner:
             assert key in r.payload, key
         assert r.payload["unresolved_conflicts"] == 0
         assert r.payload["proper"] and r.payload["complete"]
+
+
+# ----------------------------------------------------------------------
+# Zero-copy shared-memory transport (ISSUE 8)
+# ----------------------------------------------------------------------
+class TestShmTransport:
+    def test_arena_roundtrip_bit_identical(self):
+        arrays = {
+            "a": np.arange(100, dtype=np.int64),
+            "b": np.linspace(0.0, 1.0, 33),
+            "c": np.arange(12, dtype=np.int32).reshape(3, 4),
+            "empty": np.empty(0, dtype=np.int64),
+        }
+        with ShmArena.create(arrays, label="test") as arena:
+            desc = arena.descriptor()
+            assert desc.names() == tuple(arrays)
+            with ShmArena.attach(desc, writeable=("a",)) as borrowed:
+                for name, arr in arrays.items():
+                    got = borrowed.array(name)
+                    assert got.dtype == arr.dtype and got.shape == arr.shape
+                    assert np.array_equal(got, arr), name
+                    assert got.flags.writeable == (name == "a"), name
+                with pytest.raises((ValueError, RuntimeError)):
+                    borrowed.array("b")[0] = 9.0
+                # Writes through the writable slice land in the creator's
+                # view: one segment, no copies anywhere.
+                borrowed.array("a")[7] = -42
+                assert arena.array("a")[7] == -42
+        assert leaked_segments() == []
+
+    def test_attached_view_identical_to_pickled_view(self):
+        """The worker-side view rebuilt from read-only arena slices is
+        bit-identical to the pickled ShardView of the legacy transport."""
+        net = BroadcastNetwork(gnp_graph(250, 0.05, seed=11))
+        part = partition_nodes(net, 4, "greedy", seed=3)
+        order, starts = part.index_arrays()
+        arrays = {
+            "indptr": net.indptr,
+            "indices": net.indices,
+            "assignment": part.assignment,
+            "local": part.local_ids(),
+            "order": order,
+            "starts": starts,
+        }
+        with ShmArena.create(arrays, label="view") as arena:
+            with ShmArena.attach(arena.descriptor()) as borrowed:
+                for s in range(4):
+                    pickled = net.induced_subgraph(part.members(s), shard=s)
+                    attached = _view_from_arena(borrowed, s)
+                    assert np.array_equal(attached.nodes, pickled.nodes)
+                    assert np.array_equal(
+                        attached.interior_edges, pickled.interior_edges
+                    )
+                    assert np.array_equal(
+                        attached.ghost_nodes, pickled.ghost_nodes
+                    )
+                    assert np.array_equal(attached.cut_edges, pickled.cut_edges)
+
+    def test_ghost_protection_survives_attachment(self):
+        """The ghost-frontier write protection is a property of the view
+        builder, not of pickling — it must hold on shm-attached arrays."""
+        net = BroadcastNetwork(gnp_graph(120, 0.08, seed=6))
+        part = partition_nodes(net, 3, "contiguous", seed=0)
+        order, starts = part.index_arrays()
+        arrays = {
+            "indptr": net.indptr,
+            "indices": net.indices,
+            "assignment": part.assignment,
+            "order": order,
+            "starts": starts,
+            "local": part.local_ids(),
+        }
+        with ShmArena.create(arrays, label="ghost") as arena:
+            with ShmArena.attach(arena.descriptor()) as borrowed:
+                view = _view_from_arena(borrowed, 1)
+                assert not view.ghost_nodes.flags.writeable
+                assert not view.cut_edges.flags.writeable
+                with pytest.raises((ValueError, RuntimeError)):
+                    view.ghost_nodes[:] = 0
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_transports_identical_through_pool(self, transport):
+        graph = gnp_graph(400, 0.03, seed=2)
+        ref = ShardedColoring(graph, shard_cfg(seed=4), k=4, workers=1).run()
+        got = ShardedColoring(
+            graph,
+            shard_cfg(seed=4, shard_transport=transport),
+            k=4,
+            workers=4,
+        ).run()
+        assert got.transport == transport
+        assert np.array_equal(got.colors, ref.colors)
+        assert got.proper and got.complete and got.unresolved_conflicts == 0
+
+    def test_pooled_repair_identical_to_inline_repair(self):
+        """shard_repair_pool_min=0 forces every reconciliation sweep
+        through _pool_repair_shard; the default threshold keeps small
+        sweeps inline.  Same pure kernel, byte-identical colors."""
+        graph = gnp_graph(400, 0.04, seed=7)
+        inline = ShardedColoring(
+            graph, shard_cfg(seed=3), k=4, workers=1
+        ).run()
+        pooled = ShardedColoring(
+            graph, shard_cfg(seed=3, shard_repair_pool_min=0),
+            k=4, workers=4,
+        ).run()
+        assert np.array_equal(inline.colors, pooled.colors)
+        assert pooled.unresolved_conflicts == 0
+        assert leaked_segments() == []
+
+    def test_segments_unlinked_after_normal_run(self):
+        before = leaked_segments()
+        ShardedColoring(
+            gnp_graph(300, 0.04, seed=1), shard_cfg(seed=1), k=4, workers=2
+        ).run()
+        assert leaked_segments() == before == []
+
+    def test_segments_unlinked_after_worker_crash(self):
+        """A hard worker crash (SIGKILL-grade: os._exit inside the pool)
+        must not leak the arena: the driver's finally owns the unlink."""
+        from repro import faults
+
+        plan = faults.FaultPlan(
+            name="shm-hard-crash",
+            seed=3,
+            rules=(
+                faults.FaultRule(
+                    site="shard.worker", kind="crash", hard=True,
+                    match={"shard": 1, "attempt": 1},
+                ),
+            ),
+        )
+        graph = gnp_graph(300, 0.04, seed=9)
+        with faults.suppressed():
+            reference = ShardedColoring(
+                graph, shard_cfg(seed=2), k=4, workers=2
+            ).run()
+        faults.arm(plan)
+        try:
+            crashed = ShardedColoring(
+                graph, shard_cfg(seed=2), k=4, workers=2
+            ).run()
+        finally:
+            faults.disarm()
+        assert crashed.faults.get("worker_crashes", 0) >= 1
+        assert np.array_equal(crashed.colors, reference.colors)
+        assert leaked_segments() == []
+
+    def test_injected_attach_fault_recovers_and_unlinks(self):
+        """A soft crash at the shm *attach* site: the worker dies before
+        mapping; supervision retries/falls back and the recovered result
+        is byte-identical, with /dev/shm clean."""
+        from repro import faults
+
+        plan = faults.FaultPlan(
+            name="attach-flake",
+            seed=5,
+            rules=(
+                faults.FaultRule(
+                    site="shard.shm", kind="crash",
+                    match={"op": "attach"}, max_fires=1,
+                ),
+            ),
+        )
+        graph = gnp_graph(300, 0.05, seed=4)
+        with faults.suppressed():
+            reference = ShardedColoring(
+                graph, shard_cfg(seed=6), k=4, workers=2
+            ).run()
+        faults.arm(plan)
+        try:
+            recovered = ShardedColoring(
+                graph, shard_cfg(seed=6), k=4, workers=2
+            ).run()
+        finally:
+            faults.disarm()
+        assert np.array_equal(recovered.colors, reference.colors)
+        assert leaked_segments() == []
+
+    def test_invalid_transport_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedColoring(
+                gnp_graph(50, 0.1, seed=0),
+                shard_cfg(seed=0, shard_transport="carrier-pigeon"),
+                k=2,
+            )
