@@ -1,0 +1,127 @@
+"""E18 — telemetry-plane overhead: disarmed hooks and traced runs.
+
+Two claims ``repro.obs`` makes (DESIGN.md §10):
+
+1. **Disarmed is free.**  The ``span()``/``count()``/``observe()``
+   hooks sit on every kernel phase, every apply, every reconcile sweep;
+   with the plane disarmed each must cost one global load + ``is
+   None`` test.  We measure ns/call in a tight loop and gate it at a
+   generous bound (same methodology and ceiling as ``bench_faults``).
+2. **Armed tracing is cheap and changes nothing.**  A traced sharded
+   run must produce byte-identical colors to the untraced run, and its
+   wall-clock overhead is the tracked trajectory — if instrumentation
+   creep ever makes tracing expensive, this file is where it shows.
+
+Tracked measurements (→ ``BENCH_obs.json`` at the repo root):
+
+* disarmed ``span()`` / ``count()`` / ``observe()`` ns/call;
+* untraced vs traced sharded-run seconds, overhead ratio, span count,
+  and the colors-equal verdict.
+
+Quick mode: ``REPRO_BENCH_OBS_N`` shrinks the graph for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.config import ColoringConfig
+from repro.graphs.families import make_graph
+from repro.runner.benchtrack import append_entry
+from repro.shard.engine import ShardedColoring
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TRAJECTORY = REPO_ROOT / "BENCH_obs.json"
+
+# Generous CI-safe ceiling; the observed cost is tens of ns.
+DISARMED_NS_BOUND = 5_000.0
+
+
+def _disarmed_ns_per_call(hook, calls: int = 200_000) -> float:
+    """Median-of-3 timing of one disarmed hook, called with the
+    realistic argument shape (kwargs included — building the dict is
+    part of the price a site pays)."""
+    assert not obs.enabled(), "the obs plane is armed; benchmark invalid"
+    samples = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for i in range(calls):
+            hook()
+        samples.append((time.perf_counter() - t0) / calls * 1e9)
+    samples.sort()
+    return samples[1]
+
+
+def _sharded_colors(cfg: ColoringConfig, graph) -> tuple[np.ndarray, float]:
+    t0 = time.perf_counter()
+    result = ShardedColoring(graph, cfg, workers=2).run()
+    seconds = time.perf_counter() - t0
+    assert result.proper and result.complete
+    return result.colors, seconds
+
+
+@pytest.mark.benchmark(group="E18-obs")
+def test_e18_obs_overhead_tracked():
+    """The tracked trajectory entry: hook cost + tracing overhead.
+
+    Gates: each disarmed hook under :data:`DISARMED_NS_BOUND` ns, and
+    byte-identical colors with tracing on vs off.
+    """
+    n = int(os.environ.get("REPRO_BENCH_OBS_N", "4000"))
+
+    obs.disable()
+    span_ns = _disarmed_ns_per_call(lambda: obs.span("bench.site", shard=0))
+    count_ns = _disarmed_ns_per_call(lambda: obs.count("bench_total", kind="x"))
+    observe_ns = _disarmed_ns_per_call(lambda: obs.observe("bench_us", 12.5))
+    for name, ns in (("span", span_ns), ("count", count_ns),
+                     ("observe", observe_ns)):
+        assert ns < DISARMED_NS_BOUND, (
+            f"disarmed {name}() costs {ns:.0f} ns/call "
+            f"(bound {DISARMED_NS_BOUND:.0f})"
+        )
+
+    graph = make_graph("geometric", n, 12.0, 7)
+    base_cfg = ColoringConfig.practical(seed=7, shard_k=4)
+
+    obs.disable()
+    colors_off, seconds_off = _sharded_colors(base_cfg, graph)
+    obs.disable()
+    colors_on, seconds_on = _sharded_colors(
+        dataclasses.replace(base_cfg, obs_trace=True), graph
+    )
+    spans = obs.drain_spans()
+    obs.disable()
+
+    colors_equal = bool(np.array_equal(colors_off, colors_on))
+    assert colors_equal, "tracing changed the coloring"
+    assert spans, "traced run produced no spans"
+    overhead = seconds_on / max(seconds_off, 1e-9)
+
+    entry = {
+        "workload": {"family": "geometric", "n": n, "k": 4, "workers": 2,
+                     "seed": 7},
+        "disarmed_span_ns": round(span_ns, 1),
+        "disarmed_count_ns": round(count_ns, 1),
+        "disarmed_observe_ns": round(observe_ns, 1),
+        "untraced_seconds": round(seconds_off, 4),
+        "traced_seconds": round(seconds_on, 4),
+        "tracing_overhead_ratio": round(overhead, 3),
+        "spans_recorded": len(spans),
+        "colors_equal": colors_equal,
+    }
+    append_entry(TRAJECTORY, entry, label="obs-overhead")
+
+    print("\nE18 telemetry-plane overhead")
+    print(f"  disarmed span   : {span_ns:8.1f} ns/call")
+    print(f"  disarmed count  : {count_ns:8.1f} ns/call")
+    print(f"  disarmed observe: {observe_ns:8.1f} ns/call")
+    print(f"  untraced run    : {seconds_off:8.4f} s")
+    print(f"  traced run      : {seconds_on:8.4f} s  (×{overhead:.2f}, "
+          f"{len(spans)} spans)")

@@ -24,6 +24,8 @@ Public surface:
   reconciliation.
 * :mod:`repro.serve` — the streaming coloring service: ``repro serve``
   daemon, wire protocol (docs/PROTOCOL.md), snapshots, client.
+* :mod:`repro.obs` — the unified telemetry plane: span tracer, metrics
+  registry, Prometheus exposition and Perfetto trace export.
 * :mod:`repro.graphs` — workload generators.
 * :mod:`repro.baselines` — greedy / Johansson / Luby comparators.
 * :mod:`repro.decomposition` — the ε-almost-clique decomposition.
@@ -36,7 +38,7 @@ from repro.core.state import ColoringState
 from repro.dynamic import ChurnSchedule, DynamicColoring, UpdateBatch
 from repro.simulator.network import BroadcastNetwork
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BroadcastColoring",

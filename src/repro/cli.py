@@ -9,6 +9,9 @@ writing Python.
     python -m repro sweep --family blobs --min-exp 8 --max-exp 12 --workers 4
     python -m repro bench benchmarks/specs/quick.toml --workers 4 --out out.jsonl
     python -m repro serve --socket /tmp/repro.sock --snapshot-path /tmp/repro.npz
+    python -m repro shard --n 20000 --k 4 --workers 4 --trace trace.json
+    python -m repro trace export trace.jsonl --format perfetto
+    python -m repro top --socket /tmp/repro.sock
 
 Every subcommand prints a compact report; ``--json`` switches to
 machine-readable output.  ``compare``, ``sweep`` and ``bench`` execute
@@ -78,12 +81,31 @@ def _emit(report: dict[str, Any], as_json: bool) -> None:
             print(f"{key}: {value}")
 
 
+def _finish_trace(path: str | None) -> None:
+    """Drain the armed tracer into the file ``--trace`` named: span
+    JSONL when the path ends in ``.jsonl`` (re-exportable via ``repro
+    trace export``), Chrome/Perfetto trace_event JSON otherwise."""
+    if not path:
+        return
+    from repro import obs
+
+    spans = obs.drain_spans()
+    with open(path, "w", encoding="utf-8") as fp:
+        if path.endswith(".jsonl"):
+            obs.write_jsonl(spans, fp)
+        else:
+            obs.write_perfetto(spans, fp)
+    print(f"trace: {len(spans)} span(s) -> {path}", file=sys.stderr)
+
+
 def cmd_color(args: argparse.Namespace) -> int:
     graph = make_graph(args.family, args.n, args.avg_degree, args.seed)
-    cfg = ColoringConfig.practical(seed=args.seed)
-    if args.paper_constants:
-        cfg = ColoringConfig.paper(seed=args.seed)
+    preset = (
+        ColoringConfig.paper if args.paper_constants else ColoringConfig.practical
+    )
+    cfg = preset(seed=args.seed, obs_trace=bool(args.trace))
     result = BroadcastColoring(graph, cfg).run()
+    _finish_trace(args.trace)
     report = result.as_dict()
     report["clique_summary"] = result.clique_summary
     _emit(report, args.json)
@@ -96,6 +118,7 @@ def cmd_churn(args: argparse.Namespace) -> int:
         dynamic_batches=args.batches,
         dynamic_churn_fraction=args.churn,
         dynamic_fallback_fraction=args.fallback_fraction,
+        obs_trace=bool(args.trace),
     )
     schedule = make_churn(
         args.family,
@@ -107,6 +130,7 @@ def cmd_churn(args: argparse.Namespace) -> int:
     )
     engine = DynamicColoring(schedule, cfg)
     result = engine.run(schedule)
+    _finish_trace(args.trace)
     summary = result.summary()
     report: dict[str, Any] = {
         "family": schedule.family,
@@ -143,9 +167,11 @@ def cmd_shard(args: argparse.Namespace) -> int:
         shard_strategy=args.strategy,
         shard_transport=args.transport,
         conflict_victim=args.victim,
+        obs_trace=bool(args.trace),
     )
     graph = make_graph(args.family, args.n, args.avg_degree, args.seed)
     result = ShardedColoring(graph, cfg, workers=args.workers).run()
+    _finish_trace(args.trace)
     report = result.as_dict()
     if args.json:
         _emit(report, True)
@@ -161,6 +187,25 @@ def cmd_shard(args: argparse.Namespace) -> int:
                 f"{r.cut_edges:9d}  {r.delta_interior:7d}  {r.colors_used:6d}  "
                 f"{r.rounds:6d}"
             )
+        if args.verbose:
+            rows = [
+                (r.shard, row)
+                for r in result.shard_reports
+                for row in r.reconcile_sweeps
+            ]
+            if rows:
+                print("reconcile sweeps:")
+                print("shard  sweep  victims  halo_nodes  repair_rounds   seconds")
+                for shard, row in sorted(
+                    rows, key=lambda item: (item[1]["sweep"], item[0])
+                ):
+                    print(
+                        f"{shard:5d}  {row['sweep']:5d}  {row['victims']:7d}  "
+                        f"{row['halo_nodes']:10d}  {row['repair_rounds']:13d}  "
+                        f"{row['seconds']:8.4f}"
+                    )
+            else:
+                print("reconcile sweeps: none (clean cut or k=1)")
         summary = {k: v for k, v in report.items() if k != "shards"}
         _emit(summary, False)
     ok = (
@@ -370,8 +415,60 @@ def cmd_serve(args: argparse.Namespace) -> int:
         snapshot_path=args.snapshot_path,
         restore=args.restore,
         fault_plan=fault_plan,
+        metrics_port=args.metrics_port,
     )
     asyncio.run(server.run_until_stopped())
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """One-shot Prometheus metrics: scrape a live daemon's registry over
+    the framed protocol, or (no endpoint given) run a small local
+    coloring with metrics armed and print what it measured."""
+    if (args.socket is not None) and (args.port is not None):
+        raise SystemExit("repro top: pass at most one of --socket / --port")
+    if args.socket is not None or args.port is not None:
+        from repro.serve.client import ServeClient
+
+        with ServeClient(
+            socket_path=args.socket, host=args.host, port=args.port, retries=3
+        ) as client:
+            text = client.metrics()
+        sys.stdout.write(text)
+        return 0
+    from repro import obs
+
+    obs.enable(tracing=False, metrics=True)
+    graph = make_graph(args.family, args.n, args.avg_degree, args.seed)
+    cfg = ColoringConfig.practical(seed=args.seed, obs_metrics=True)
+    result = BroadcastColoring(graph, cfg).run()
+    sys.stdout.write(obs.render_metrics())
+    return 0 if (result.proper and result.complete) else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace export``: convert a span JSONL (captured with
+    ``--trace path.jsonl``) to Perfetto trace_event JSON for
+    https://ui.perfetto.dev, or re-emit normalized JSONL."""
+    from repro import obs
+
+    try:
+        with open(args.input, "r", encoding="utf-8") as fp:
+            spans = obs.read_jsonl(fp)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"repro trace export: cannot read {args.input}: {exc}")
+    out = args.out
+    if out is None:
+        base = args.input
+        if base.endswith(".jsonl"):
+            base = base[: -len(".jsonl")]
+        out = base + (".perfetto.json" if args.format == "perfetto" else ".out.jsonl")
+    with open(out, "w", encoding="utf-8") as fp:
+        if args.format == "perfetto":
+            obs.write_perfetto(spans, fp)
+        else:
+            obs.write_jsonl(spans, fp)
+    print(f"{len(spans)} span(s) -> {out}", file=sys.stderr)
     return 0
 
 
@@ -465,8 +562,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--progress", action=argparse.BooleanOptionalAction, default=False,
                        help="per-trial progress lines on stderr")
 
+    def trace_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", default=None, metavar="PATH",
+                       help="record a span trace of the run: Perfetto "
+                            "trace_event JSON (load at ui.perfetto.dev), "
+                            "or span JSONL when PATH ends in .jsonl")
+
     p_color = sub.add_parser("color", help="run the full pipeline on one graph")
     common(p_color)
+    trace_flag(p_color)
     p_color.add_argument("--paper-constants", action="store_true",
                          help="use the published constants instead of the practical preset")
     p_color.set_defaults(fn=cmd_color)
@@ -507,6 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="conflicted fraction above which the engine "
                               "recolors from scratch (>=1 never, <0 always)")
     p_churn.add_argument("--json", action="store_true")
+    trace_flag(p_churn)
     p_churn.set_defaults(fn=cmd_churn)
 
     p_shard = sub.add_parser(
@@ -526,6 +631,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "view arrays through the pool pipe (same results)")
     p_shard.add_argument("--victim", default="id", choices=["id", "slack"],
                          help="conflict victim selection during reconciliation")
+    p_shard.add_argument("--verbose", action="store_true",
+                         help="also print the per-sweep reconcile table "
+                              "(victims / halo / repair rounds / seconds per shard)")
+    trace_flag(p_shard)
     p_shard.set_defaults(fn=cmd_shard)
 
     p_sweep = sub.add_parser("sweep", help="rounds vs n with growth-shape fits")
@@ -586,7 +695,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--fault-plan", default=None, metavar="PATH",
                          help="arm a TOML fault plan (chaos testing only; "
                               "see docs/RUNBOOK.md)")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         help="also serve the Prometheus text exposition "
+                              "over HTTP on this loopback port "
+                              "(GET /metrics; same text as the "
+                              "'metrics' protocol verb)")
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_top = sub.add_parser(
+        "top",
+        help="one-shot Prometheus metrics: from a live daemon "
+             "(--socket/--port) or a small local sample run",
+    )
+    p_top.add_argument("--socket", default=None, metavar="PATH",
+                       help="scrape the daemon on this unix socket")
+    p_top.add_argument("--port", type=int, default=None,
+                       help="scrape the daemon on this TCP port")
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--family", default="gnp", type=family_arg(FAMILIES),
+                       help="local-run graph family (no daemon endpoint)")
+    p_top.add_argument("--n", type=int, default=1000)
+    p_top.add_argument("--avg-degree", type=float, default=20.0)
+    p_top.add_argument("--seed", type=int, default=0)
+    p_top.set_defaults(fn=cmd_top)
+
+    p_trace = sub.add_parser(
+        "trace", help="work with span traces captured via --trace"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_cmd", required=True)
+    p_texp = trace_sub.add_parser(
+        "export",
+        help="convert a span JSONL to Perfetto trace_event JSON "
+             "(load at ui.perfetto.dev)",
+    )
+    p_texp.add_argument("input", help="span JSONL written by --trace path.jsonl")
+    p_texp.add_argument("--out", default=None, metavar="PATH",
+                        help="output path (default: derived from the input)")
+    p_texp.add_argument("--format", default="perfetto",
+                        choices=["perfetto", "jsonl"])
+    p_texp.set_defaults(fn=cmd_trace)
 
     p_chaos = sub.add_parser(
         "chaos",

@@ -314,6 +314,27 @@ class ColoringConfig:
     that idle legitimately keep the session alive with the ``ping``
     heartbeat verb.  0 disables the timeout."""
 
+    # --- observability (repro.obs, DESIGN.md §10) ---
+    obs_trace: bool = False
+    """On = engines arm the :mod:`repro.obs` span tracer for this run
+    (driver *and* pool workers — the config crosses the argument pipe,
+    so workers arm themselves and ship their span buffers back inside
+    ordinary result payloads).  Off (the default) leaves every
+    instrumentation hook on its disarmed ~100 ns fast path.
+    Tracing never touches any RNG: colorings are byte-identical with
+    this knob on or off (pinned by tests/test_obs.py)."""
+
+    obs_metrics: bool = False
+    """On = engines arm the :mod:`repro.obs` metrics registry
+    (counters/gauges/histograms) for this run.  ``repro serve`` arms it
+    unconditionally — a daemon is what the registry is for; this knob
+    covers one-shot runs (``repro top``, traced benches)."""
+
+    obs_trace_buffer: int = 100_000
+    """Cap on buffered spans per process before new spans are dropped
+    (drops are counted in ``repro_obs_spans_dropped_total``).  Bounds
+    tracer memory on long runs; 100k spans ≈ 20 MB of dicts."""
+
     # --- ablation switches (DESIGN.md design-choice experiments) ---
     enable_matching: bool = True
     """Off = skip the colorful matching (Lemma 2.9).  Ablation EA1: closed

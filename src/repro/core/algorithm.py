@@ -35,6 +35,7 @@ from typing import Any
 
 import numpy as np
 
+from repro import obs
 from repro.config import ColoringConfig
 from repro.core.cliques import CliqueInfo, compute_clique_info
 from repro.core.matching import MatchingReport, colorful_matching
@@ -146,6 +147,11 @@ class BroadcastColoring:
     def run(self) -> ColoringResult:
         cfg = self.cfg
         net = self.net
+        obs.enable_from_config(cfg)
+        obs.count("repro_color_runs_total")
+        # Unscoped span around the whole pipeline: the per-phase spans
+        # RoundMetrics emits (begin_phase/stop_timer) nest under it.
+        run_span = obs.start_span("color.run", n=int(net.n))
         metrics = net.metrics
         state = ColoringState(net)
         reports: dict[str, Any] = {}
@@ -274,6 +280,7 @@ class BroadcastColoring:
 
         state.verify()
         metrics.stop_timer()
+        obs.end_span(run_span)
         phase_rounds = {
             name: stats.rounds
             for name, stats in metrics.phases.items()

@@ -35,6 +35,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro import obs
 from repro.config import ColoringConfig
 from repro.core.algorithm import BroadcastColoring
 from repro.core.multitrial import multitrial
@@ -414,9 +415,11 @@ class DynamicColoring:
     def apply_batch(self, batch: UpdateBatch) -> BatchReport:
         """Apply one update batch and restore the coloring invariant."""
         cfg, net = self.cfg, self.net
+        obs.enable_from_config(cfg)
         metrics = net.metrics
         t = self._batch_index
         self._batch_index += 1
+        batch_span = obs.start_span("dynamic.apply_batch", index=t)
         t0 = time.perf_counter()
         rounds_before = metrics.total_rounds
         bits_before = metrics.total_bits
@@ -484,6 +487,9 @@ class DynamicColoring:
         recolored = (
             int(self.active.sum()) if mode == "fallback" else int(repair_set.size)
         )
+        obs.end_span(batch_span)
+        obs.count("repro_dynamic_batches_total", mode=mode)
+        obs.observe("repro_dynamic_batch_us", (time.perf_counter() - t0) * 1e6)
         return BatchReport(
             index=t,
             mode=mode,

@@ -55,6 +55,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
+from repro import obs
+
 __all__ = [
     "SITES",
     "KINDS",
@@ -338,6 +340,7 @@ class _ArmedState:
                 break
         if fault is None:
             return None
+        obs.count("repro_faults_fired_total", site=site, kind=fault.kind)
         # Deliver in-band effects outside the lock.
         if fault.kind == "hang":
             time.sleep(max(0.0, fault.seconds))
@@ -363,6 +366,8 @@ def arm(plan: FaultPlan) -> None:
     processes."""
     global _ARMED
     _ARMED = _ArmedState(plan)
+    obs.count("repro_faults_armed_total", plan=plan.name)
+    obs.gauge_set("repro_faults_rules", len(plan.rules), plan=plan.name)
 
 
 def disarm() -> None:

@@ -1,0 +1,178 @@
+"""Span export: JSONL round-trip and Chrome/Perfetto trace_event JSON.
+
+Span records are the plain dicts produced by :mod:`repro.obs.plane`
+(``name, ts, dur, pid, tid, id, parent, attrs``; times in ns from
+``perf_counter_ns``).  Two interchange formats:
+
+* **JSONL** — one span per line, lossless (`write_jsonl`/`read_jsonl`);
+  ``spans_to_tree``/round-trip identity is property-tested.
+* **Perfetto** — Chrome ``trace_event`` JSON (``{"traceEvents": [...]}``
+  with ``"X"`` complete events, µs timestamps) loadable in
+  https://ui.perfetto.dev.  Spans carrying a ``shard`` attribute are
+  laid out one lane per shard (``tid = shard + 1``) with the driver on
+  lane 0, so a ``repro shard -k 4`` trace shows driver + 4 worker
+  lanes regardless of how the pool multiplexed shards onto processes.
+
+``validate_perfetto`` is the checker the tests and the CI obs-smoke
+job share.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, IO, Iterable
+
+__all__ = [
+    "read_jsonl",
+    "spans_to_perfetto",
+    "spans_to_tree",
+    "validate_perfetto",
+    "write_jsonl",
+    "write_perfetto",
+]
+
+_REQUIRED_KEYS = ("name", "ts", "dur", "pid", "tid", "id", "parent", "attrs")
+
+
+def write_jsonl(spans: Iterable[dict[str, Any]], fp: IO[str]) -> int:
+    """Write spans one-per-line as JSON; returns the number written."""
+    n = 0
+    for rec in spans:
+        fp.write(json.dumps(rec, sort_keys=True) + "\n")
+        n += 1
+    return n
+
+
+def read_jsonl(fp: IO[str]) -> list[dict[str, Any]]:
+    """Parse spans written by :func:`write_jsonl` (blank lines skipped)."""
+    spans = []
+    for line in fp:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        for key in _REQUIRED_KEYS:
+            if key not in rec:
+                raise ValueError(f"span record missing {key!r}: {rec!r}")
+        spans.append(rec)
+    return spans
+
+
+def spans_to_tree(spans: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Reassemble the parent/child forest from a flat span list.
+
+    Returns the roots (parent id 0 or unknown), each with a
+    ``children`` list, children ordered by start timestamp.  Used by
+    the round-trip property tests: export → parse → identical tree.
+    """
+    nodes = {rec["id"]: {**rec, "children": []} for rec in spans}
+    roots: list[dict[str, Any]] = []
+    for node in nodes.values():
+        parent = nodes.get(node["parent"])
+        if parent is None:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    def _sort(items: list[dict[str, Any]]) -> None:
+        items.sort(key=lambda r: (r["ts"], r["id"]))
+        for item in items:
+            _sort(item["children"])
+    _sort(roots)
+    return roots
+
+
+def _lane(rec: dict[str, Any]) -> int:
+    """Perfetto lane (tid) for a span: shard s → lane s+1, else 0."""
+    shard = rec.get("attrs", {}).get("shard")
+    if isinstance(shard, int) and shard >= 0:
+        return shard + 1
+    return 0
+
+
+def spans_to_perfetto(spans: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Convert spans to a Chrome/Perfetto ``trace_event`` document."""
+    events: list[dict[str, Any]] = []
+    lanes: set[tuple[int, int]] = set()
+    pids: set[int] = set()
+    for rec in spans:
+        lane = _lane(rec)
+        pid = int(rec["pid"])
+        lanes.add((pid, lane))
+        pids.add(pid)
+        events.append(
+            {
+                "name": rec["name"],
+                "ph": "X",
+                "ts": rec["ts"] / 1000.0,
+                "dur": max(rec["dur"], 0) / 1000.0,
+                "pid": pid,
+                "tid": lane,
+                "args": dict(rec.get("attrs", {})),
+            }
+        )
+    meta: list[dict[str, Any]] = []
+    for pid in sorted(pids):
+        meta.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro pid {pid}"},
+            }
+        )
+    for pid, lane in sorted(lanes):
+        label = "driver" if lane == 0 else f"shard {lane - 1}"
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": lane,
+                "args": {"name": label},
+            }
+        )
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_perfetto(spans: Iterable[dict[str, Any]], fp: IO[str]) -> int:
+    """Write the Perfetto document; returns the number of "X" events."""
+    doc = spans_to_perfetto(spans)
+    json.dump(doc, fp, sort_keys=True)
+    fp.write("\n")
+    return sum(1 for e in doc["traceEvents"] if e.get("ph") == "X")
+
+
+def validate_perfetto(doc: dict[str, Any]) -> list[str]:
+    """Validate a Perfetto document; returns a list of problems.
+
+    An empty list means the document is loadable: a ``traceEvents``
+    array of well-formed ``"X"``/``"M"`` events with numeric
+    timestamps and non-negative durations.
+    """
+    problems: list[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    if not any(e.get("ph") == "X" for e in events if isinstance(e, dict)):
+        problems.append("no complete ('X') events")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "M"):
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"event {i}: missing name")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"event {i}: {key} not an int")
+        if ph == "X":
+            ts, dur = event.get("ts"), event.get("dur")
+            if not isinstance(ts, (int, float)):
+                problems.append(f"event {i}: ts not numeric")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: bad dur")
+    return problems

@@ -23,11 +23,40 @@ speedups).  :func:`append_entry` is atomic enough for single-writer use
 from __future__ import annotations
 
 import json
+import os
+import platform
+import subprocess
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Mapping
 
-__all__ = ["load_trajectory", "append_entry"]
+__all__ = ["load_trajectory", "append_entry", "host_info"]
+
+
+def host_info() -> dict[str, Any]:
+    """Where a measurement was taken: cpu count, platform, python, git
+    sha.  Stamped into every trajectory entry so numbers from different
+    machines/commits are never compared blind.  ``git_sha`` is ``None``
+    outside a work tree (e.g. CI artifact replay of an sdist)."""
+    sha: str | None = None
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        if out.returncode == 0:
+            sha = out.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "git_sha": sha,
+    }
 
 
 def _read(path: Path) -> tuple[dict[str, Any] | None, bool]:
@@ -75,6 +104,7 @@ def append_entry(
     rec: dict[str, Any] = {
         "label": label if label is not None else entry.get("label", "run"),
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "host": host_info(),
     }
     rec.update({k: v for k, v in entry.items() if k != "label"})
     data["entries"].append(rec)

@@ -17,6 +17,7 @@ import traceback
 from contextlib import contextmanager
 from typing import Any
 
+from repro import obs
 from repro.baselines.greedy import greedy_coloring
 from repro.baselines.johansson import johansson_coloring
 from repro.baselines.luby import luby_coloring
@@ -255,8 +256,17 @@ def run_trial(spec: TrialSpec, timeout_s: float | None = None) -> TrialResult:
         # record; an injected *hang* outlives the alarm (it fires before
         # the guard arms), exercising the driver's wall-clock backstop.
         faults.inject("runner.trial", algorithm=spec.algorithm, seed=int(spec.seed))
+        obs.count("repro_runner_trials_total", algorithm=spec.algorithm)
         with _alarm(timeout_s):
-            payload, timings = _measure(spec)
+            with obs.span(
+                "runner.trial", algorithm=spec.algorithm, seed=int(spec.seed)
+            ):
+                payload, timings = _measure(spec)
+        obs.observe(
+            "repro_runner_trial_us",
+            (time.perf_counter() - start) * 1e6,
+            algorithm=spec.algorithm,
+        )
         return TrialResult(
             spec=spec, status="ok", payload=payload,
             elapsed_s=time.perf_counter() - start,

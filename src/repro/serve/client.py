@@ -317,6 +317,13 @@ class ServeClient:
         assert isinstance(reply, wire.StatsReply)
         return reply.stats
 
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition (docs/PROTOCOL.md
+        §metrics) — same payload the ``--metrics-port`` endpoint serves."""
+        reply = self._rpc(wire.MetricsRequest(id=self._fresh_id()))
+        assert isinstance(reply, wire.MetricsReply)
+        return reply.text
+
     def snapshot(self, path: str | None = None) -> wire.SnapshotSaved:
         """Force a snapshot now (to ``path`` or the server default)."""
         reply = self._rpc(wire.SnapshotRequest(id=self._fresh_id(), path=path))

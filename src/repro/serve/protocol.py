@@ -52,6 +52,7 @@ __all__ = [
     "QueryColors",
     "QueryPalette",
     "StatsRequest",
+    "MetricsRequest",
     "SnapshotRequest",
     "Ping",
     "Shutdown",
@@ -62,6 +63,7 @@ __all__ = [
     "ColorsReply",
     "PaletteReply",
     "StatsReply",
+    "MetricsReply",
     "SnapshotSaved",
     "Goodbye",
     "ErrorFrame",
@@ -358,6 +360,16 @@ class StatsRequest(Frame):
 
 
 @dataclass(frozen=True)
+class MetricsRequest(Frame):
+    """Ask for the Prometheus text exposition of the server's
+    :mod:`repro.obs` registry — the same text ``--metrics-port`` serves
+    over HTTP, for clients already speaking the framed protocol
+    (``repro top`` in daemon mode)."""
+
+    TYPE: ClassVar[str] = "metrics"
+
+
+@dataclass(frozen=True)
 class SnapshotRequest(Frame):
     """Force a snapshot now, to ``path`` or the server's configured
     ``--snapshot-path``."""
@@ -528,6 +540,23 @@ class StatsReply(Frame):
 
 
 @dataclass(frozen=True)
+class MetricsReply(Frame):
+    """Answer to :class:`MetricsRequest`: the Prometheus text exposition
+    format 0.0.4 payload, verbatim (``''`` when the registry is
+    disarmed — never the case for a running daemon)."""
+
+    TYPE: ClassVar[str] = "metrics_report"
+    text: str = ""
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "MetricsReply":
+        return cls(
+            id=_frame_id(payload, cls.TYPE),
+            text=_optional(payload, "text", (str,), cls.TYPE, default=""),
+        )
+
+
+@dataclass(frozen=True)
 class SnapshotSaved(Frame):
     """Answer to :class:`SnapshotRequest`: where the snapshot landed and
     the batch index it captures (restores resume from there)."""
@@ -611,12 +640,13 @@ REQUEST_TYPES: dict[str, type[Frame]] = {
         QueryColors,
         QueryPalette,
         StatsRequest,
+        MetricsRequest,
         SnapshotRequest,
         Ping,
         Shutdown,
     )
 }
-"""Frames a client may send (the nine verbs of the service)."""
+"""Frames a client may send (the ten verbs of the service)."""
 
 RESPONSE_TYPES: dict[str, type[Frame]] = {
     cls.TYPE: cls
@@ -627,6 +657,7 @@ RESPONSE_TYPES: dict[str, type[Frame]] = {
         ColorsReply,
         PaletteReply,
         StatsReply,
+        MetricsReply,
         SnapshotSaved,
         Pong,
         Goodbye,

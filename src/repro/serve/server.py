@@ -46,7 +46,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import __version__
+from repro import __version__, obs
 from repro.config import ColoringConfig
 from repro.dynamic.engine import DynamicColoring
 from repro.faults import plan as faults
@@ -124,6 +124,12 @@ class ColoringServer:
         the chaos harness's hook into the daemon's injection sites
         (``serve.snapshot.write``, ``serve.connection``).  ``None`` (the
         default) leaves every site a no-op.
+    metrics_port:
+        Optional loopback TCP port serving the Prometheus text
+        exposition of the :mod:`repro.obs` registry over plain HTTP
+        (``GET /metrics`` — any path answers).  The same text is
+        available in-protocol via the ``metrics`` verb; this port
+        exists for scrapers that speak HTTP, not our framing.
     """
 
     def __init__(
@@ -136,6 +142,7 @@ class ColoringServer:
         snapshot_path: str | None = None,
         restore: str | None = None,
         fault_plan: "faults.FaultPlan | None" = None,
+        metrics_port: int | None = None,
     ) -> None:
         if (socket_path is None) == (port is None):
             raise ValueError("exactly one of socket_path / port is required")
@@ -145,6 +152,8 @@ class ColoringServer:
         self.port = port
         self.snapshot_path = snapshot_path
         self.fault_plan = fault_plan
+        self.metrics_port = metrics_port
+        self._metrics_server: asyncio.base_events.Server | None = None
 
         self.engine: DynamicColoring | None = None
         self.initial_mode = "pipeline"
@@ -166,6 +175,10 @@ class ColoringServer:
         self.last_snapshot_index = -1
         self.snapshot_failures = 0
         self.idle_disconnects = 0
+        self.queue_high_water = 0
+        self.frame_counts: dict[str, int] = {}
+        self.last_snapshot_at: float | None = None  # time.monotonic()
+        self.last_snapshot_seconds = 0.0
 
         if restore is not None:
             self.engine = restore_engine(restore)
@@ -191,6 +204,10 @@ class ColoringServer:
     async def start(self) -> None:
         """Bind the endpoint and start the ingest worker."""
         self._stop_event = asyncio.Event()
+        # A daemon is what the metrics registry exists for: arm it
+        # unconditionally (tracing still follows the obs_trace knob).
+        obs.enable(tracing=False, metrics=True)
+        obs.enable_from_config(self.cfg)
         if self.fault_plan is not None:
             faults.arm(self.fault_plan)
         if self.snapshot_path:
@@ -213,7 +230,50 @@ class ColoringServer:
             self._server = await asyncio.start_server(
                 self._handle_client, host=self.host, port=self.port
             )
+        if self.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics_scrape,
+                host="127.0.0.1",
+                port=self.metrics_port,
+            )
         self._worker = asyncio.create_task(self._worker_loop())
+
+    async def _handle_metrics_scrape(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Minimal HTTP/1.1 responder for ``--metrics-port``: read the
+        request head, answer the Prometheus exposition, close.  No
+        routing, no keep-alive — exactly what a scraper needs."""
+        try:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout=5.0)
+        except (asyncio.IncompleteReadError, ConnectionError, asyncio.LimitOverrunError):
+            pass
+        body = self.metrics_text().encode()
+        head = (
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        with contextlib.suppress(ConnectionError):
+            writer.write(head + body)
+            await writer.drain()
+        with contextlib.suppress(Exception):
+            writer.close()
+            await writer.wait_closed()
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition: live server gauges refreshed into
+        the :mod:`repro.obs` registry, then rendered.  Shared by the
+        ``metrics`` verb and the ``--metrics-port`` scrape endpoint."""
+        obs.gauge_set("repro_serve_queue_depth", self._queue.qsize())
+        obs.gauge_set("repro_serve_sessions", len(self._sessions))
+        obs.gauge_set(
+            "repro_serve_uptime_seconds",
+            round(time.monotonic() - self._started, 3),
+        )
+        return obs.render_metrics()
 
     @property
     def endpoint(self) -> str:
@@ -245,6 +305,9 @@ class ColoringServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
         if self._worker is not None:
             await self._drain()
             self._worker.cancel()
@@ -285,6 +348,7 @@ class ColoringServer:
         engine = self.engine
         assert engine is not None
         batches = [item.batch for item in items]
+        t_apply = time.perf_counter()
         try:
             batch = coalesce_batches(engine.net, batches)
             report = engine.apply_batch(batch)
@@ -299,6 +363,12 @@ class ColoringServer:
         self.coalesced_batches += len(items) - 1
         if report.mode == "fallback":
             self.fallbacks += 1
+        obs.count("repro_serve_batches_applied_total")
+        obs.count("repro_serve_batches_coalesced_total", len(items) - 1)
+        obs.observe(
+            "repro_serve_apply_us", (time.perf_counter() - t_apply) * 1e6
+        )
+        obs.gauge_set("repro_serve_queue_depth", self._queue.qsize())
         frame = wire.BatchReportFrame(
             ids=[item.request_id for item in items],
             coalesced=len(items),
@@ -325,11 +395,16 @@ class ColoringServer:
 
     def _write_snapshot(self, path: str) -> None:
         assert self.engine is not None
+        t0 = time.perf_counter()
         info = save_snapshot(
             self.engine, path, keep=max(1, int(self.cfg.serve_snapshot_keep))
         )
         self.snapshots_written += 1
         self.last_snapshot_index = info.batch_index
+        self.last_snapshot_seconds = time.perf_counter() - t0
+        self.last_snapshot_at = time.monotonic()
+        obs.count("repro_serve_snapshots_total")
+        obs.observe("repro_serve_snapshot_us", self.last_snapshot_seconds * 1e6)
 
     # ------------------------------------------------------------------
     # Per-connection handler
@@ -394,6 +469,8 @@ class ColoringServer:
     async def _dispatch(self, session: _Session, frame: wire.Frame) -> bool:
         """Handle one request frame; returns True when the connection (or
         the whole server, for ``shutdown``) should wind down."""
+        self.frame_counts[frame.TYPE] = self.frame_counts.get(frame.TYPE, 0) + 1
+        obs.count("repro_serve_frames_total", verb=frame.TYPE)
         if isinstance(frame, wire.Hello):
             common = set(frame.versions) & {wire.PROTOCOL_VERSION}
             if not common:
@@ -435,6 +512,11 @@ class ColoringServer:
             return False
         if isinstance(frame, wire.StatsRequest):
             await session.send(wire.StatsReply(id=frame.id, stats=self.stats()))
+            return False
+        if isinstance(frame, wire.MetricsRequest):
+            await session.send(
+                wire.MetricsReply(id=frame.id, text=self.metrics_text())
+            )
             return False
         if isinstance(frame, wire.SnapshotRequest):
             await session.send(self._handle_snapshot(frame))
@@ -535,8 +617,13 @@ class ColoringServer:
             raise wire.ProtocolError("bad-payload", str(exc), id=frame.id) from exc
         try:
             self._queue.put_nowait(_QueueItem(session, frame.id, batch))
+            depth = self._queue.qsize()
+            if depth > self.queue_high_water:
+                self.queue_high_water = depth
+                obs.gauge_set("repro_serve_queue_high_water", depth)
         except asyncio.QueueFull:
             self.rejected_batches += 1
+            obs.count("repro_serve_batches_rejected_total")
             raise wire.ProtocolError(
                 "queue-full",
                 f"ingest queue at capacity ({self._queue.maxsize})",
@@ -592,6 +679,7 @@ class ColoringServer:
                 "no path: pass one in the request or start with --snapshot-path",
                 id=frame.id,
             )
+        t0 = time.perf_counter()
         try:
             info = save_snapshot(
                 engine, path, keep=max(1, int(self.cfg.serve_snapshot_keep))
@@ -602,6 +690,10 @@ class ColoringServer:
             ) from exc
         self.snapshots_written += 1
         self.last_snapshot_index = info.batch_index
+        self.last_snapshot_seconds = time.perf_counter() - t0
+        self.last_snapshot_at = time.monotonic()
+        obs.count("repro_serve_snapshots_total")
+        obs.observe("repro_serve_snapshot_us", self.last_snapshot_seconds * 1e6)
         return wire.SnapshotSaved(
             id=frame.id,
             path=info.path,
@@ -633,6 +725,25 @@ class ColoringServer:
             "snapshot_failures": self.snapshot_failures,
             "idle_disconnects": self.idle_disconnects,
             "fault_plan": None if self.fault_plan is None else self.fault_plan.name,
+            # Observability enrichment (PROTOCOL.md 1.4.0).
+            "queue_depth_high_water": self.queue_high_water,
+            "coalesce_ratio": (
+                round(
+                    (self.batches_applied + self.coalesced_batches)
+                    / self.batches_applied,
+                    4,
+                )
+                if self.batches_applied
+                else None
+            ),
+            "snapshot_generation": self.snapshots_written,
+            "snapshot_age_s": (
+                None
+                if self.last_snapshot_at is None
+                else round(time.monotonic() - self.last_snapshot_at, 3)
+            ),
+            "last_snapshot_seconds": round(self.last_snapshot_seconds, 6),
+            "frames": dict(sorted(self.frame_counts.items())),
         }
         engine = self.engine
         if engine is not None:

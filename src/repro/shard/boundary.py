@@ -48,6 +48,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import time
+
+from repro import obs
 from repro.config import ColoringConfig
 from repro.dynamic.engine import conflict_repair
 from repro.simulator.metrics import RoundMetrics
@@ -171,8 +174,34 @@ def repair_boundary(
     lists the shard's own still-uncolored nodes (interior stragglers).
     Returns the delta dict: ``nodes`` / ``colors`` (the shard's repaired
     nodes, global ids, disjoint across shards by ownership), plus the
-    halo metrics and sweep stats the driver folds in.
+    halo metrics and sweep stats — including the sweep's own
+    wall-clock ``seconds``, which the driver folds into the owning
+    shard's :attr:`~repro.shard.engine.ShardReport.reconcile_sweeps`.
     """
+    with obs.span("shard.reconcile", shard=int(shard), sweep=int(sweep)):
+        return _repair_boundary_inner(
+            n, indptr, indices, assignment, colors, cut_pairs, shard,
+            extra, num_colors, cfg, seed, sweep,
+        )
+
+
+def _repair_boundary_inner(
+    n: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    assignment: np.ndarray,
+    colors: np.ndarray,
+    cut_pairs: np.ndarray,
+    shard: int,
+    extra: np.ndarray,
+    num_colors: int,
+    cfg: ColoringConfig,
+    seed: int,
+    sweep: int,
+) -> dict:
+    """Body of :func:`repair_boundary`, separated so the whole sweep
+    sits inside one ``shard.reconcile`` span."""
+    t0 = time.perf_counter()
     u, v = cut_pairs[:, 0], cut_pairs[:, 1]
     cu, cv = colors[u], colors[v]
     mono = (cu >= 0) & (cu == cv)
@@ -203,6 +232,7 @@ def repair_boundary(
             "victims": 0,
             "halo_nodes": 0,
             "repair_rounds": 0,
+            "seconds": time.perf_counter() - t0,
         }
     # The halo: the repair set plus every neighbor (fixed fringe, ghosts
     # included).  Edges are the repair nodes' CSR rows, relabeled; the
@@ -245,4 +275,5 @@ def repair_boundary(
         "victims": int(own_vic.size),
         "halo_nodes": int(halo.size),
         "repair_rounds": int(rounds),
+        "seconds": time.perf_counter() - t0,
     }

@@ -52,6 +52,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.config import ColoringConfig
 from repro.core.algorithm import BroadcastColoring
 from repro.dynamic.engine import (
@@ -143,6 +144,12 @@ class ShardReport:
     finished — the footprint evidence for the shm transport.  Like
     ``seconds`` it is an environment measurement, not part of the
     deterministic result."""
+    reconcile_sweeps: list = field(default_factory=list)
+    """Per-sweep reconciliation rows for this shard (k>1 boundary
+    exchange only; the k=1 central loop has no per-shard sweeps).  Each
+    row is ``{"sweep", "victims", "halo_nodes", "repair_rounds",
+    "seconds"}`` — previously only the totals survived the merge, so a
+    slow sweep was invisible.  Surfaced by ``repro shard --verbose``."""
 
     def as_dict(self) -> dict:
         """JSON-safe flat dict of this shard's interior account (one row
@@ -161,6 +168,7 @@ class ShardReport:
             "seconds": round(self.seconds, 6),
             "cpu_seconds": round(self.cpu_seconds, 6),
             "peak_rss_mb": self.peak_rss_mb,
+            "reconcile_sweeps": [dict(row) for row in self.reconcile_sweeps],
         }
 
 
@@ -251,6 +259,13 @@ def _color_shard(view: ShardView, cfg: ColoringConfig, attempt: int = 1) -> dict
     strictly on the interior-induced CSR.
     """
     faults.inject("shard.worker", shard=int(view.shard), attempt=int(attempt))
+    with obs.span("shard.color", shard=int(view.shard), attempt=int(attempt)):
+        return _color_shard_inner(view, cfg, attempt)
+
+
+def _color_shard_inner(view: ShardView, cfg: ColoringConfig, attempt: int) -> dict:
+    """Body of :func:`_color_shard`, separated so the whole interior
+    coloring sits inside one ``shard.color`` span."""
     t0 = time.perf_counter()
     c0 = time.process_time()
     if view.n_interior == 0:
@@ -332,14 +347,22 @@ def _pool_color_shard(args: tuple) -> dict:
     spec, cfg, attempt, plan_payload = args
     if plan_payload is not None:
         faults.arm(faults.FaultPlan.from_dict(plan_payload))
+    # Arm tracing from the config (the knob rides the pipe), then drop any
+    # span buffer inherited via fork — the driver keeps its own copy; this
+    # worker must ship back only the spans *it* produced for this task.
+    obs.enable_from_config(cfg)
+    obs.drain_spans()
     if isinstance(spec, ShardView):
-        return _color_shard(spec, cfg, attempt=attempt)
+        out = _color_shard(spec, cfg, attempt=attempt)
+        out["spans"] = obs.drain_spans()
+        return out
     descriptor, shard = spec
     with ShmArena.attach(descriptor, writeable=("colors",)) as arena:
         view = _view_from_arena(arena, int(shard))
         out = _color_shard(view, cfg, attempt=attempt)
         arena.array("colors")[view.nodes] = out["colors"]
         out["colors"] = None  # already in shared memory
+        out["spans"] = obs.drain_spans()
         return out
 
 
@@ -353,10 +376,12 @@ def _pool_repair_shard(args: tuple) -> dict:
     descriptor, shard, extra, num_colors, cfg, seed, sweep, plan_payload = args
     if plan_payload is not None:
         faults.arm(faults.FaultPlan.from_dict(plan_payload))
+    obs.enable_from_config(cfg)
+    obs.drain_spans()
     with ShmArena.attach(descriptor) as arena:
         a = arena.arrays()
         plan = CutPlan.from_arrays(a)
-        return repair_boundary(
+        out = repair_boundary(
             int(a["indptr"].size - 1),
             a["indptr"],
             a["indices"],
@@ -370,6 +395,8 @@ def _pool_repair_shard(args: tuple) -> dict:
             seed,
             sweep,
         )
+        out["spans"] = obs.drain_spans()
+        return out
 
 
 class ShardedColoring:
@@ -483,6 +510,8 @@ class ShardedColoring:
         shard-local cut reconciliation.  Deterministic in
         ``(graph, config)`` regardless of ``workers`` and transport."""
         cfg, net = self.cfg, self.net
+        obs.enable_from_config(cfg)
+        obs.count("repro_shard_runs_total")
         metrics = net.metrics
         t0 = time.perf_counter()
         rounds_before = metrics.total_rounds
@@ -497,6 +526,7 @@ class ShardedColoring:
         self._views = {}
         cut_edge_count = int(plan.cut.shape[0])
         boundary = plan.boundary
+        obs.gauge_set("repro_shard_cut_edges", cut_edge_count, k=self.k)
 
         # ---- 1b. pack: shared arena (shm) or extracted views ---------
         use_shm = self.transport == "shm" and self.workers > 1 and self.k > 1
@@ -536,6 +566,7 @@ class ShardedColoring:
                 # shm workers already wrote their disjoint interior slots;
                 # pickled/inline/fallback outputs scatter here.
                 for i, out in enumerate(outs):
+                    obs.adopt_spans(out.get("spans"))
                     if out["colors"] is not None:
                         colors[part.members(i)] = out["colors"]
                 metrics.absorb_parallel(
@@ -558,7 +589,7 @@ class ShardedColoring:
                     initial_conflicts, iterations, unresolved = (
                         self._reconcile_boundary(
                             plan, colors, touched, num_colors, color_bits,
-                            arena, fault_account,
+                            arena, fault_account, shard_reports,
                         )
                     )
             reconcile_rounds = (
@@ -698,13 +729,16 @@ class ShardedColoring:
         color_bits: int,
         arena: ShmArena | None,
         account: dict,
+        shard_reports: list[ShardReport] | None = None,
     ) -> tuple[int, int, int]:
         """The boundary-exchange sweep loop (k>1): shards with work
         repair their own boundary shard-locally (pool under shm,
         otherwise inline — byte-identical either way); the driver merges
         the disjoint deltas and re-checks only the cut.  Pool failures
         degrade to inline execution with faults suppressed — the sweep
-        must finish, and the inline kernel is the same pure function."""
+        must finish, and the inline kernel is the same pure function.
+        Each merged sweep appends a timing row to the owning shard's
+        :attr:`ShardReport.reconcile_sweeps`."""
         cfg, net = self.cfg, self.net
         metrics = net.metrics
         cu_idx, cv_idx = plan.cut[:, 0], plan.cut[:, 1]
@@ -728,6 +762,7 @@ class ShardedColoring:
                 cu, cv = colors[cu_idx], colors[cv_idx]
                 mono = (cu >= 0) & (cu == cv)
                 unresolved = int(mono.sum())
+                obs.gauge_set("repro_shard_unresolved_cut_conflicts", unresolved)
                 if iterations == 0:
                     initial_conflicts = unresolved
                 uncolored = np.flatnonzero(np.asarray(colors) < 0)
@@ -814,13 +849,25 @@ class ShardedColoring:
                 # Merge: deltas are disjoint by ownership, so the order
                 # of application cannot matter.
                 for out in outs:
+                    obs.adopt_spans(out.get("spans"))
                     nodes = out["nodes"]
                     if nodes.size:
                         colors[nodes] = out["colors"]
                         touched[nodes] = True
+                    if shard_reports is not None:
+                        shard_reports[int(out["shard"])].reconcile_sweeps.append(
+                            {
+                                "sweep": iterations,
+                                "victims": int(out["victims"]),
+                                "halo_nodes": int(out["halo_nodes"]),
+                                "repair_rounds": int(out["repair_rounds"]),
+                                "seconds": round(float(out.get("seconds", 0.0)), 6),
+                            }
+                        )
                 metrics.absorb_parallel(
                     [out["metrics"] for out in outs], phase="shard/reconcile"
                 )
+                obs.count("repro_shard_reconcile_sweeps_total")
                 iterations += 1
             if iterations == cfg.shard_reconcile_max_iters:
                 cu, cv = colors[cu_idx], colors[cv_idx]

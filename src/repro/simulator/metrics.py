@@ -16,6 +16,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from repro import obs
+
 __all__ = ["RoundMetrics", "PhaseStats"]
 
 
@@ -53,6 +55,7 @@ class RoundMetrics:
         self.fault_seconds: float = 0.0
         self._current_phase = "unphased"
         self._phase_started: float | None = None
+        self._phase_span: dict | None = None
         self.observers: list = []
 
     def _notify(self, phase: str, num_messages: int) -> None:
@@ -67,14 +70,19 @@ class RoundMetrics:
         self.stop_timer()
         self._current_phase = name
         self._phase_started = time.perf_counter()
+        self._phase_span = obs.start_span(name)
 
     def stop_timer(self) -> None:
         """Close the open phase timer (call when a run finishes)."""
         if self._phase_started is not None:
-            self.phase_seconds[self._current_phase] += (
-                time.perf_counter() - self._phase_started
-            )
+            elapsed = time.perf_counter() - self._phase_started
+            self.phase_seconds[self._current_phase] += elapsed
             self._phase_started = None
+            obs.end_span(self._phase_span)
+            self._phase_span = None
+            obs.observe(
+                "repro_phase_us", elapsed * 1e6, phase=self._current_phase
+            )
 
     @property
     def current_phase(self) -> str:
@@ -91,6 +99,7 @@ class RoundMetrics:
         self.stop_timer()
         self._current_phase = name
         self._phase_started = time.perf_counter()
+        self._phase_span = obs.start_span(name)
         try:
             yield
         finally:
@@ -98,6 +107,7 @@ class RoundMetrics:
             self._current_phase = outer
             if outer_running:
                 self._phase_started = time.perf_counter()
+                self._phase_span = obs.start_span(outer)
 
     # -- recording --------------------------------------------------------
     def add_round(self, message_bits: Iterable[int], phase: str | None = None) -> None:
@@ -210,6 +220,7 @@ class RoundMetrics:
         only real time is lost."""
         self.faults[kind] += 1
         self.fault_seconds += float(seconds)
+        obs.count("repro_fault_events_total", kind=kind)
 
     # -- reading ----------------------------------------------------------
     @property

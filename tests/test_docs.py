@@ -79,7 +79,7 @@ class TestDocLinks:
 class TestApiDocstrings:
     @pytest.mark.parametrize("modname",
                              ["repro.dynamic", "repro.shard", "repro.serve",
-                              "repro.faults"])
+                              "repro.faults", "repro.obs"])
     def test_public_surface_is_docstringed(self, modname):
         mod = importlib.import_module(modname)
         missing = []

@@ -34,6 +34,7 @@ SAMPLE_FRAMES = [
     wire.QueryColors(id=5, nodes=None),
     wire.QueryPalette(id=6, node=2),
     wire.StatsRequest(id=7),
+    wire.MetricsRequest(id=21),
     wire.SnapshotRequest(id=8, path="/tmp/x.npz"),
     wire.SnapshotRequest(id=9, path=None),
     wire.Shutdown(id=10),
@@ -47,6 +48,7 @@ SAMPLE_FRAMES = [
                      proper=True, complete=False),
     wire.PaletteReply(id=14, node=2, color=1, num_colors=3, free=[0, 2]),
     wire.StatsReply(id=15, stats={"batches_applied": 2}),
+    wire.MetricsReply(id=22, text="# TYPE x counter\nx 1\n"),
     wire.SnapshotSaved(id=16, path="/tmp/x.npz", batch_index=5, bytes=1024),
     wire.Goodbye(id=17),
     wire.ErrorFrame(id=18, code="queue-full", message="full", retry_after=0.05),
@@ -56,11 +58,11 @@ SAMPLE_FRAMES = [
 
 class TestRegistry:
     def test_every_request_has_a_type(self):
-        assert len(wire.REQUEST_TYPES) == 9
+        assert len(wire.REQUEST_TYPES) == 10
         assert all(cls.TYPE == key for key, cls in wire.REQUEST_TYPES.items())
 
     def test_every_response_has_a_type(self):
-        assert len(wire.RESPONSE_TYPES) == 10
+        assert len(wire.RESPONSE_TYPES) == 11
         assert all(cls.TYPE == key for key, cls in wire.RESPONSE_TYPES.items())
 
     def test_registries_are_disjoint_and_union(self):
