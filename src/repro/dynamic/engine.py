@@ -351,7 +351,10 @@ class DynamicColoring:
         if isinstance(graph, ChurnSchedule):
             graph = graph.initial
         self.cfg = config or ColoringConfig.practical()
-        self.net = BroadcastNetwork(graph)
+        if isinstance(graph, BroadcastNetwork):
+            self.net = graph
+        else:
+            self.net = BroadcastNetwork(graph)
         self.net.bandwidth_bits = self.cfg.bandwidth_bits(self.net.n)
         self.seq = SeedSequencer(self.cfg.seed).spawn("dynamic")
         self.active = np.ones(self.net.n, dtype=bool)
@@ -449,10 +452,7 @@ class DynamicColoring:
         # ---- 2. conflict detection on the new CSR --------------------
         with metrics.time_phase("dynamic/detect"):
             c = self.colors
-            conflict = conflict_victims(
-                net, c, policy=cfg.conflict_victim, num_colors=num_colors
-            )
-            conflict |= self.active & (c >= num_colors)
+            conflict = self._detect_conflicts(batch, num_colors)
             c[conflict] = -1
             # Touched *live* nodes re-broadcast their color so every
             # changed neighborhood agrees on the post-delta state: one
@@ -509,6 +509,23 @@ class DynamicColoring:
             complete=self.is_complete(),
             seconds=time.perf_counter() - t0,
         )
+
+    def _detect_conflicts(self, batch: UpdateBatch, num_colors: int) -> np.ndarray:
+        """Bool mask of nodes whose color the delta invalidated: one
+        victim per monochromatic edge of the new CSR, plus every active
+        node whose color fell out of the shrunken palette.  Does not
+        mutate ``self.colors`` — the caller clears the victims.
+
+        Overridable seam: :class:`~repro.shard.dynamic.ShardedDynamicColoring`
+        replaces the full edge scan with a delta-routed check over the
+        batch's inserted edges (the only edges that can become
+        monochromatic while the pre-batch invariant holds)."""
+        c = self.colors
+        conflict = conflict_victims(
+            self.net, c, policy=self.cfg.conflict_victim, num_colors=num_colors
+        )
+        conflict |= self.active & (c >= num_colors)
+        return conflict
 
     def _repair(self, repair_set: np.ndarray, num_colors: int, t: int) -> bool:
         """Local repair: the shared :func:`conflict_repair` kernel on the

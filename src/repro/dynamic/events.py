@@ -47,6 +47,12 @@ class UpdateBatch:
     id arrays.  A departing node's incident edges need not be listed in
     ``delete_edges`` — the engine expands departures against the current
     adjacency before applying the delta.
+
+    Self-loop pairs (``u == v``) are rejected at construction: the model
+    has no self-loops, and a loop that reached
+    :meth:`~repro.simulator.network.BroadcastNetwork.apply_delta` would
+    make its node permanently uncolorable.  The wire layer maps the
+    ``ValueError`` onto a ``bad-payload`` error frame.
     """
 
     insert_edges: np.ndarray = field(default_factory=lambda: _edge_array(None))
@@ -59,6 +65,16 @@ class UpdateBatch:
         object.__setattr__(self, "delete_edges", _edge_array(self.delete_edges))
         object.__setattr__(self, "arrivals", _node_array(self.arrivals))
         object.__setattr__(self, "departures", _node_array(self.departures))
+        for name in ("insert_edges", "delete_edges"):
+            arr = getattr(self, name)
+            if arr.size:
+                loops = arr[arr[:, 0] == arr[:, 1]]
+                if loops.size:
+                    raise ValueError(
+                        f"{name}: self-loop edge "
+                        f"({int(loops[0, 0])}, {int(loops[0, 1])}) — the "
+                        f"model has no self-loops"
+                    )
         both = np.intersect1d(self.arrivals, self.departures)
         if both.size:
             raise ValueError(
@@ -134,6 +150,28 @@ class ChurnSchedule:
     def __post_init__(self) -> None:
         object.__setattr__(self, "batches", tuple(self.batches))
         n = int(self.initial[0])
+        edges = np.asarray(self.initial[1])
+        if edges.size:
+            if edges.ndim != 2 or edges.shape[1] != 2:
+                raise ValueError(
+                    f"initial edges must be a (m, 2) array, got shape "
+                    f"{edges.shape}"
+                )
+            bad = np.flatnonzero((edges < 0).any(axis=1) | (edges >= n).any(axis=1))
+            if bad.size:
+                i = int(bad[0])
+                raise ValueError(
+                    f"initial edge {i} = ({int(edges[i, 0])}, "
+                    f"{int(edges[i, 1])}): node id out of range [0, {n})"
+                )
+            loops = np.flatnonzero(edges[:, 0] == edges[:, 1])
+            if loops.size:
+                i = int(loops[0])
+                raise ValueError(
+                    f"initial edge {i} = ({int(edges[i, 0])}, "
+                    f"{int(edges[i, 1])}): self-loop — the model has no "
+                    f"self-loops"
+                )
         for batch in self.batches:
             batch.validate(n)
 

@@ -83,6 +83,11 @@ def load_edgelist(path: str | Path, n: int | None = None) -> tuple[int, np.ndarr
             u, v = int(parts[0]), int(parts[1])
             if u < 0 or v < 0:
                 raise ValueError(f"{path}:{lineno}: negative node id")
+            if u == v:
+                raise ValueError(
+                    f"{path}:{lineno}: self-loop edge {u} {v} — the model "
+                    f"has no self-loops"
+                )
             pairs.append((u, v))
     edges = np.array(pairs, dtype=np.int64).reshape(-1, 2)
     implied = int(edges.max()) + 1 if edges.size else 0

@@ -26,6 +26,7 @@ __all__ = [
     "hash_array_u64",
     "mix_u64",
     "minwise_fingerprints",
+    "refresh_minwise_fingerprints",
     "pack_fingerprints",
     "packed_words_per_node",
 ]
@@ -181,6 +182,80 @@ def minwise_fingerprints(
                 mins = np.minimum.reduceat(gathered, starts, axis=1)
                 m[:, has_nbrs] = np.minimum(m[:, has_nbrs], mins)
             fps[j0:j1] = (m & mask).astype(np.uint16)
+    return fps
+
+
+def refresh_minwise_fingerprints(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    n: int,
+    num_samples: int,
+    bits: int,
+    salt: int,
+    fps: np.ndarray,
+    nodes: np.ndarray,
+) -> np.ndarray:
+    """Recompute only ``nodes``' columns of a ``(T, n)`` fingerprint
+    matrix in place — byte-identical to a fresh
+    :func:`minwise_fingerprints` call on the current CSR, restricted to
+    the listed nodes.
+
+    This is the delta-aware sketch maintenance path (ISSUE 10): a node's
+    fingerprint is a pure function of ``(salt, sample, N[v])``, so after
+    a topology delta only nodes whose *closed* neighborhood changed need
+    re-hashing.  The hash grid is evaluated only over the closed
+    neighborhoods of ``nodes`` (their ids plus their current neighbors),
+    so the cost is ``O(T · (|nodes| + Σ deg(nodes)))`` instead of
+    ``O(T · (n + m))``.
+
+    ``fps`` must have shape ``(num_samples, n)`` and dtype uint16, and
+    ``salt``/``num_samples``/``bits`` must match the call that built it.
+    Returns ``fps`` (mutated in place) for chaining.
+    """
+    if not 1 <= bits <= 16:
+        raise ValueError("bits must be in [1, 16]")
+    if fps.shape != (num_samples, n):
+        raise ValueError(f"fps shape {fps.shape} != ({num_samples}, {n})")
+    nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+    if nodes.size and (nodes[0] < 0 or nodes[-1] >= n):
+        raise ValueError(f"node id out of range [0, {n})")
+    if nodes.size == 0 or num_samples == 0:
+        return fps
+    deg = (indptr[nodes + 1] - indptr[nodes]).astype(np.int64)
+    total = int(deg.sum())
+    if total:
+        # Concatenated adjacency of the refreshed rows (one fancy gather).
+        row_base = np.concatenate(([0], np.cumsum(deg)[:-1]))
+        idx = np.arange(total, dtype=np.int64) + np.repeat(
+            indptr[nodes] - row_base, deg
+        )
+        nb = np.asarray(indices[idx], dtype=np.int64)
+    else:
+        nb = np.empty(0, dtype=np.int64)
+    universe = np.union1d(nodes, nb)
+    pos_self = np.searchsorted(universe, nodes)
+    has_nbrs = deg > 0
+    if total:
+        pos_nb = np.searchsorted(universe, nb)
+        starts = row_base[has_nbrs]
+    u64_universe = universe.astype(np.uint64)
+    mask = np.uint32((1 << bits) - 1)
+    base = int(salt) * int(num_samples)
+    row_bytes = 4 * max(universe.size + nb.size, 1)
+    chunk = int(np.clip(_CHUNK_BYTES // row_bytes, 1, num_samples))
+    for j0 in range(0, num_samples, chunk):
+        j1 = min(j0 + chunk, num_samples)
+        salts = np.arange(base + j0 + 1, base + j1 + 1, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            offsets = salts * np.uint64(_GAMMA)
+            h64 = mix_u64(u64_universe[None, :] + offsets[:, None])
+        h = (h64 >> np.uint64(32)).astype(np.uint32)
+        m = h[:, pos_self]
+        if total:
+            gathered = h[:, pos_nb]
+            mins = np.minimum.reduceat(gathered, starts, axis=1)
+            m[:, has_nbrs] = np.minimum(m[:, has_nbrs], mins)
+        fps[j0:j1, nodes] = (m & mask).astype(np.uint16)
     return fps
 
 

@@ -36,7 +36,15 @@ __all__ = [
     "dedupe",
 ]
 
-ALGORITHMS = ("broadcast", "johansson", "luby", "greedy", "dynamic", "shard")
+ALGORITHMS = (
+    "broadcast",
+    "johansson",
+    "luby",
+    "greedy",
+    "dynamic",
+    "dynamic_shard",
+    "shard",
+)
 
 _MATRIX_FIELDS = ("family", "n", "avg_degree", "algorithm", "preset")
 
@@ -66,9 +74,12 @@ class TrialSpec:
             raise ValueError(f"family {base!r} takes no ':' argument")
         if self.algorithm not in ALGORITHMS:
             raise ValueError(f"unknown algorithm: {self.algorithm!r}")
-        if base in CHURN_FAMILIES and self.algorithm != "dynamic":
+        if base in CHURN_FAMILIES and self.algorithm not in (
+            "dynamic", "dynamic_shard"
+        ):
             raise ValueError(
-                f"churn family {self.family!r} requires algorithm='dynamic'"
+                f"churn family {self.family!r} requires algorithm='dynamic' "
+                f"or 'dynamic_shard'"
             )
         if self.preset not in ("practical", "paper"):
             raise ValueError(f"unknown preset: {self.preset!r}")

@@ -28,11 +28,18 @@ The replayed departure expansion also means the merged batch never
 relies on the engine's own departure expansion for edges that only exist
 inside the merge window (inserted by an earlier constituent batch) —
 those are turned into explicit deletes here.
+
+The merge is also *traffic-exact*: op-map keys are cancelled against the
+pre-window CSR, so the merged batch carries no operation apply_delta
+would ignore (its ``DeltaReport.ignored`` is 0) and announcement
+accounting never exceeds the true topology diff.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
+
+import numpy as np
 
 from repro.dynamic.events import UpdateBatch
 from repro.simulator.network import BroadcastNetwork
@@ -91,9 +98,25 @@ def coalesce_batches(
         for x in batch.arrivals.tolist():
             state[x] = "arr"
 
+    # Cancel no-ops against the pre-window CSR before building the merged
+    # batch: an insert of an edge the engine already holds (delete→
+    # reinsert inside the window) and a delete of an edge it never held
+    # (insert→delete inside the window) would be ignored by apply_delta —
+    # but only *after* being charged as announcement traffic, inflating
+    # add_bulk_rounds accounting relative to sequential replay.
+    def in_csr(k: tuple[int, int]) -> bool:
+        u, v = k
+        lo, hi = int(net.indptr[u]), int(net.indptr[u + 1])
+        j = int(np.searchsorted(net.indices[lo:hi], v))
+        return j < hi - lo and int(net.indices[lo + j]) == v
+
     return UpdateBatch(
-        insert_edges=sorted(k for k, op in ops.items() if op is _INS),
-        delete_edges=sorted(k for k, op in ops.items() if op is _DEL),
+        insert_edges=sorted(
+            k for k, op in ops.items() if op is _INS and not in_csr(k)
+        ),
+        delete_edges=sorted(
+            k for k, op in ops.items() if op is _DEL and in_csr(k)
+        ),
         arrivals=sorted(x for x, s in state.items() if s == "arr"),
         departures=sorted(x for x, s in state.items() if s == "dep"),
     )

@@ -243,8 +243,12 @@ class LoadGraph(Frame):
     """Install the graph the service maintains (replacing any previous
     one): ``n`` nodes, an explicit undirected edge list, and optional
     :class:`~repro.config.ColoringConfig` field overrides (``seed``,
-    ``shard_k`` ≥ 2 routes the initial coloring through
-    :class:`~repro.shard.ShardedColoring`, ...)."""
+    ``shard_k``, ...).  Two reserved keys ride in ``config`` without
+    being config fields: ``initial`` (``"pipeline"``/``"sharded"`` —
+    which engine pays the initial coloring of the single maintenance
+    engine) and ``backend`` (``"single"``/``"sharded"`` — whether churn
+    is maintained by :class:`~repro.dynamic.DynamicColoring` or the
+    delta-routed :class:`~repro.shard.ShardedDynamicColoring`)."""
 
     TYPE: ClassVar[str] = "load_graph"
     n: int = 0
@@ -429,7 +433,8 @@ class Welcome(Frame):
 class GraphLoaded(Frame):
     """Successful :class:`LoadGraph`: the installed graph's shape and the
     cost of the initial coloring (``initial`` names which engine paid it:
-    ``"pipeline"`` or ``"sharded"``)."""
+    ``"pipeline"`` or ``"sharded"``; ``backend`` names the maintenance
+    engine that now holds the graph: ``"single"`` or ``"sharded"``)."""
 
     TYPE: ClassVar[str] = "graph_loaded"
     n: int = 0
@@ -439,6 +444,7 @@ class GraphLoaded(Frame):
     initial_rounds: int = 0
     seconds: float = 0.0
     initial: str = "pipeline"
+    backend: str = "single"
 
     @classmethod
     def from_payload(cls, payload: dict) -> "GraphLoaded":
@@ -451,6 +457,7 @@ class GraphLoaded(Frame):
             initial_rounds=_require(payload, "initial_rounds", (int,), cls.TYPE),
             seconds=float(_require(payload, "seconds", (int, float), cls.TYPE)),
             initial=_optional(payload, "initial", (str,), cls.TYPE, default="pipeline"),
+            backend=_optional(payload, "backend", (str,), cls.TYPE, default="single"),
         )
 
 

@@ -13,6 +13,7 @@ trials.
 """
 
 from repro.shard.boundary import CutPlan, repair_boundary
+from repro.shard.dynamic import ShardedDynamicColoring
 from repro.shard.engine import (
     TRANSPORTS,
     ShardedColoring,
@@ -34,6 +35,7 @@ __all__ = [
     "STRATEGIES",
     "ShardReport",
     "ShardedColoring",
+    "ShardedDynamicColoring",
     "ShardedResult",
     "ShmArena",
     "TRANSPORTS",

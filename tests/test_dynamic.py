@@ -55,6 +55,34 @@ class TestEvents:
         with pytest.raises(ValueError):
             UpdateBatch(insert_edges=[(0, 9)]).validate(4)
 
+    def test_self_loop_rejected_at_construction(self):
+        """Regression (ISSUE 10 satellite): self-loops used to survive
+        until apply_delta silently dropped them — or reach apply_delta
+        unfiltered through the single-batch coalesce fast path.  They
+        must die in __post_init__, for both edge directions and both
+        edge fields."""
+        with pytest.raises(ValueError, match="self-loop"):
+            UpdateBatch(insert_edges=[(3, 3)])
+        with pytest.raises(ValueError, match="self-loop"):
+            UpdateBatch(delete_edges=[(0, 1), (2, 2)])
+        with pytest.raises(ValueError, match="self-loop"):
+            UpdateBatch.from_payload({"insert_edges": [[5, 5]]})
+
+    def test_schedule_validates_initial_edges(self):
+        """Regression (ISSUE 10 satellite): a bad initial graph (e.g. an
+        edgelist:PATH with a self-loop or out-of-range id) used to fail
+        opaquely deep inside the engine; the schedule must name the
+        offending edge at build time."""
+        batches = (UpdateBatch(insert_edges=[(0, 1)]),)
+        with pytest.raises(ValueError, match=r"initial edge 1 .*self-loop"):
+            ChurnSchedule(
+                initial=(4, np.array([[0, 1], [2, 2]])), batches=batches
+            )
+        with pytest.raises(ValueError, match=r"initial edge 0 .*out of range"):
+            ChurnSchedule(initial=(4, np.array([[0, 9]])), batches=batches)
+        with pytest.raises(ValueError, match="initial edges"):
+            ChurnSchedule(initial=(4, np.array([[0, 1, 2]])), batches=batches)
+
     def test_schedule_validates_batches(self):
         with pytest.raises(ValueError):
             ChurnSchedule(
@@ -435,6 +463,15 @@ class TestEdgelistFamily:
         f = tmp_path / "bad.txt"
         f.write_text("0\n")
         with pytest.raises(ValueError):
+            load_edgelist(f)
+
+    def test_self_loop_names_offending_line(self, tmp_path):
+        """Regression (ISSUE 10 satellite): a self-loop in an edgelist
+        snapshot must fail at load with the file:line of the bad edge,
+        not opaquely downstream."""
+        f = tmp_path / "loopy.txt"
+        f.write_text("0 1\n# comment\n3 3\n1 2\n")
+        with pytest.raises(ValueError, match=r"loopy\.txt:3: self-loop edge 3 3"):
             load_edgelist(f)
 
     def test_explicit_n_keeps_isolated_tail(self, tmp_path):

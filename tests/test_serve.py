@@ -32,6 +32,7 @@ from repro.serve import protocol as wire
 from repro.serve.client import ServeClient
 from repro.serve.coalesce import coalesce_batches
 from repro.serve.snapshot import load_snapshot, restore_engine, save_snapshot
+from repro.simulator.network import BroadcastNetwork
 
 
 def random_batches(n, edges, rng, count=6, events=20):
@@ -123,9 +124,103 @@ class TestCoalesce:
         )
         assert [4, 5] not in merged.insert_edges.tolist()
 
+    @pytest.mark.parametrize("seed", list(range(12)))
+    def test_merge_is_traffic_exact(self, seed):
+        """Property (ISSUE 10 satellite): the coalesced batch is the
+        *minimal* window diff — every edge op it carries changes the
+        pre-window CSR (``DeltaReport.ignored == 0``), and its
+        announcement traffic equals the hand-built true-diff batch.
+        The schedules deliberately hit the pre-fix failure modes:
+        in-window insert→delete (used to emit a spurious delete),
+        delete→reinsert (spurious insert), depart→re-arrive, and
+        duplicate keys inside one op list."""
+        rng = np.random.default_rng(seed)
+        n, edges = make_graph("gnp", 80, 6.0, seed)
+        cfg = ColoringConfig.practical(seed=seed)
+        pre = {tuple(e) for e in BroadcastNetwork((n, edges)).undirected_edges().tolist()}
+
+        some_pre = [tuple(e) for e in rng.permutation(sorted(pre))[:6].tolist()]
+        fresh = []
+        while len(fresh) < 6:
+            u, v = sorted(rng.choice(n, size=2, replace=False).tolist())
+            if (u, v) not in pre and (u, v) not in fresh:
+                fresh.append((u, v))
+        x = int(some_pre[0][0])  # active node with pre-window edges
+        batches = [
+            # duplicates inside one list + fresh inserts + pre deletes
+            UpdateBatch(insert_edges=fresh[:3] + fresh[:1],
+                        delete_edges=some_pre[:2] + some_pre[:1]),
+            # insert→delete (fresh[0] dies in-window), delete→reinsert
+            # (some_pre[0] resurrected in-window), depart x
+            UpdateBatch(insert_edges=[some_pre[0]],
+                        delete_edges=[fresh[0]],
+                        departures=[x]),
+            # x re-arrives and picks up one fresh edge; more churn
+            UpdateBatch(insert_edges=fresh[3:] + [tuple(sorted((x, (x + 1) % n)))],
+                        delete_edges=some_pre[2:4],
+                        arrivals=[x]),
+        ]
+
+        seq = DynamicColoring((n, edges), cfg)
+        for batch in batches:
+            seq.apply_batch(batch)
+
+        merged_engine = DynamicColoring((n, edges), cfg)
+        merged = coalesce_batches(merged_engine.net, batches)
+
+        # Minimality against the pre-window CSR: no op apply_delta
+        # would ignore.
+        ins = [tuple(e) for e in merged.insert_edges.tolist()]
+        dels = [tuple(e) for e in merged.delete_edges.tolist()]
+        assert len(set(ins)) == len(ins) and len(set(dels)) == len(dels)
+        assert not (set(ins) & set(dels))
+        for e in ins:
+            assert tuple(sorted(e)) not in pre
+        for e in dels:
+            assert tuple(sorted(e)) in pre
+
+        # Spy on apply_delta to read the DeltaReport the engine consumes.
+        deltas = []
+        orig = merged_engine.net.apply_delta
+
+        def spy(*a, **kw):
+            rep = orig(*a, **kw)
+            deltas.append(rep)
+            return rep
+
+        merged_engine.net.apply_delta = spy
+        merged_engine.apply_batch(merged)
+        assert sum(r.ignored for r in deltas) == 0
+
+        def topo(engine):
+            return sorted(map(tuple, engine.net.undirected_edges().tolist()))
+
+        assert topo(merged_engine) == topo(seq)
+        assert merged_engine.active.tolist() == seq.active.tolist()
+
+        # Traffic equality with the hand-built true diff: inserts are
+        # after−before, deletes are before−after minus departure-incident
+        # ones (the engine's own expansion regenerates those, silently).
+        after = set(topo(seq))
+        dep = set(merged.departures.tolist())
+        true_ins = sorted(after - pre)
+        true_del = sorted(e for e in pre - after if not (set(e) & dep))
+        ref = DynamicColoring((n, edges), cfg)
+        ref.apply_batch(UpdateBatch(
+            insert_edges=true_ins, delete_edges=true_del,
+            arrivals=merged.arrivals.tolist(),
+            departures=merged.departures.tolist(),
+        ))
+        got = merged_engine.net.metrics.phases["dynamic/delta"]
+        want = ref.net.metrics.phases["dynamic/delta"]
+        assert got.as_dict() == want.as_dict()
+
     def test_departure_expands_window_local_edges(self):
-        # Edge (4,5) exists only inside the window; 4 then departs — the
-        # merged batch must carry the explicit delete.
+        # Edge (4,5) exists only inside the window; 4 then departs.  The
+        # replay expands the departure against the window-local edge, and
+        # CSR cancellation then drops the delete: the engine's CSR never
+        # held (4,5), so an explicit delete would be pure announcement
+        # noise (apply_delta would ignore it after charging traffic).
         n = 10
         engine = DynamicColoring(
             (n, np.array([[0, 1]])), ColoringConfig.practical(seed=0)
@@ -135,7 +230,7 @@ class TestCoalesce:
             [UpdateBatch(insert_edges=[[4, 5]]),
              UpdateBatch(departures=[4])],
         )
-        assert [4, 5] in merged.delete_edges.tolist()
+        assert [4, 5] not in merged.delete_edges.tolist()
         assert merged.departures.tolist() == [4]
         assert merged.insert_edges.size == 0
 
@@ -386,6 +481,51 @@ class TestLiveServer:
                 # Connection still usable afterwards.
                 loaded = client.load_graph(4, [[0, 1], [2, 3]], seed=1)
                 assert loaded.m == 2
+                # Regression (ISSUE 10 satellite): a self-loop in a raw
+                # update_batch frame must map to bad-payload at admission
+                # (UpdateBatch construction), not slip through the
+                # single-batch coalesce fast path into apply_delta.
+                client.send(wire.UpdateBatchFrame(id=11, insert_edges=[[2, 2]]))
+                reply = client.recv()
+                assert isinstance(reply, wire.ErrorFrame)
+                assert reply.code == "bad-payload" and reply.id == 11
+                assert "self-loop" in reply.message
+                client.shutdown()
+            proc.wait(timeout=20)
+        finally:
+            stop(proc)
+
+    def test_sharded_backend(self, tmp_path):
+        """backend="sharded" installs the delta-routed sharded
+        maintenance engine (ISSUE 10 tentpole's serve surface)."""
+        seed = 9
+        schedule = make_churn("gnp-churn", 240, 8.0, seed, batches=4,
+                              churn_fraction=0.1)
+        n, edges = schedule.initial
+        proc, sock = spawn_server(tmp_path, "--coalesce-max", "1")
+        try:
+            with ServeClient(socket_path=sock) as client:
+                loaded = client.load_graph(
+                    n, edges, seed=seed, backend="sharded", shard_k=3
+                )
+                assert loaded.backend == "sharded"
+                assert loaded.initial == "sharded"
+                for batch in schedule:
+                    report = client.update_batch(batch)
+                    assert report.report["proper"]
+                final = client.query_colors()
+                assert final.proper and final.complete
+                stats = client.stats()
+                assert stats["backend"] == "sharded"
+                # 'initial' only applies to the single engine.
+                with pytest.raises(wire.ProtocolError) as err:
+                    client.load_graph(
+                        n, edges, backend="sharded", initial="pipeline"
+                    )
+                assert err.value.code == "bad-payload"
+                with pytest.raises(wire.ProtocolError) as err:
+                    client.load_graph(n, edges, backend="bogus")
+                assert err.value.code == "bad-payload"
                 client.shutdown()
             proc.wait(timeout=20)
         finally:
@@ -401,6 +541,7 @@ class TestLiveServer:
                     n, edges, seed=seed, initial="sharded", shard_k=3
                 )
                 assert loaded.initial == "sharded"
+                assert loaded.backend == "single"
                 assert loaded.colors_used <= loaded.delta + 1
                 colors = client.query_colors()
                 assert colors.proper and colors.complete
